@@ -1,0 +1,165 @@
+// Command omini extracts data objects from a web page — a URL, a local
+// file, or standard input — using the fully automated Omini pipeline.
+//
+//	omini http://example.com/search?q=go
+//	omini -json page.html
+//	omini -tree page.html           # show the tag tree instead
+//	omini -rules rules.json -site www.example.com page.html
+//
+// With -rules, discovered extraction rules are cached per site and replayed
+// on later runs (the paper's Section 6.6 fast path).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"omini"
+	"omini/internal/fetch"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "omini:", err)
+		os.Exit(1)
+	}
+}
+
+type objectJSON struct {
+	Index int    `json:"index"`
+	Text  string `json:"text"`
+	Size  int    `json:"sizeBytes"`
+}
+
+type resultJSON struct {
+	SubtreePath string       `json:"subtreePath"`
+	Separator   string       `json:"separator"`
+	Objects     []objectJSON `json:"objects"`
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("omini", flag.ContinueOnError)
+	var (
+		asJSON    = fs.Bool("json", false, "emit objects as JSON")
+		asTree    = fs.Bool("tree", false, "print the page's tag tree and exit")
+		treeDepth = fs.Int("depth", 4, "tag tree depth for -tree")
+		noRefine  = fs.Bool("no-refine", false, "skip Phase 3 refinement")
+		rulesPath = fs.String("rules", "", "JSON rule cache to read/update")
+		site      = fs.String("site", "", "site name for the rule cache (default: derived from URL)")
+		cacheDir  = fs.String("cache", "", "page cache directory for URL fetches")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: omini [flags] <url | file | ->")
+	}
+	src := fs.Arg(0)
+	html, derivedSite, err := readPage(src, *cacheDir)
+	if err != nil {
+		return err
+	}
+	if *site == "" {
+		*site = derivedSite
+	}
+
+	if *asTree {
+		tree, err := omini.RenderTree(html, *treeDepth)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tree)
+		return nil
+	}
+
+	var opts []omini.Option
+	if *noRefine {
+		opts = append(opts, omini.WithoutRefinement())
+	}
+	extractor := omini.NewExtractor(opts...)
+
+	res, err := extractWithRules(extractor, html, *rulesPath, *site)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		out := resultJSON{SubtreePath: res.SubtreePath, Separator: res.Separator}
+		for i, o := range res.Objects {
+			out.Objects = append(out.Objects, objectJSON{Index: i + 1, Text: o.Text(), Size: o.Size()})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(w, "subtree:   %s\nseparator: %s\nobjects:   %d\n\n",
+		res.SubtreePath, res.Separator, len(res.Objects))
+	for i, o := range res.Objects {
+		fmt.Fprintf(w, "[%2d] %s\n", i+1, o.Text())
+	}
+	return nil
+}
+
+// extractWithRules runs the cached-rule fast path when a rule store is
+// configured, falling back to (and recording) full discovery.
+func extractWithRules(e *omini.Extractor, html, rulesPath, site string) (*omini.Result, error) {
+	if rulesPath == "" {
+		return e.ExtractResult(html)
+	}
+	store, err := omini.LoadRules(rulesPath)
+	if err != nil {
+		if !os.IsNotExist(errors.Unwrap(err)) && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		store = omini.NewRuleStore()
+	}
+	if rule, err := store.Get(site); err == nil {
+		if res, err := e.ExtractWithRule(html, rule); err == nil {
+			return res, nil
+		}
+		// The site changed shape; fall through to rediscovery.
+	}
+	res, rule, err := e.Learn(site, html)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Put(rule); err != nil {
+		return nil, err
+	}
+	if err := store.Save(rulesPath); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// readPage loads the page from a URL, a file, or stdin ("-"), returning the
+// HTML and a site name derived from the source.
+func readPage(src, cacheDir string) (html, site string, err error) {
+	switch {
+	case src == "-":
+		body, err := io.ReadAll(os.Stdin)
+		return string(body), "stdin", err
+	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
+		f := fetch.Fetcher{CacheDir: cacheDir}
+		ctx, cancel := fetch.WithTimeout(context.Background())
+		defer cancel()
+		body, err := f.Fetch(ctx, src)
+		if err != nil {
+			return "", "", err
+		}
+		host := strings.TrimPrefix(strings.TrimPrefix(src, "https://"), "http://")
+		if i := strings.IndexByte(host, '/'); i >= 0 {
+			host = host[:i]
+		}
+		return body, host, nil
+	default:
+		body, err := os.ReadFile(src)
+		return string(body), src, err
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full suite at a tiny corpus size must produce every section without
+// error — a smoke test that each experiment's plumbing stays wired.
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus evaluation in -short mode")
+	}
+	var out strings.Builder
+	if err := run(&out, "all", 2, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Figures 1-2", "Figures 4-5",
+		"Table 1:", "Table 2:", "Table 3:", "Tables 4-5", "Table 6:",
+		"Tables 7-8", "Table 10:", "Table 11:", "Table 13:", "Table 14:",
+		"Table 15:", "Table 16:", "Table 17:", "Table 19:", "Table 20:",
+		"subtree heuristic success", "object precision/recall",
+		"RSIPB", "HTRS",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSelectedTables(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "2,3", 1, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Table 2:") || !strings.Contains(got, "Table 3:") {
+		t.Errorf("selected tables missing:\n%s", got)
+	}
+	if strings.Contains(got, "Table 16:") {
+		t.Error("unselected table printed")
+	}
+}
+
+func TestRunUnknownTableIsNoop(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "nope", 1, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "===") {
+		t.Errorf("unknown selection produced output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,44 @@
+// Command ominiserve runs Omini as an HTTP extraction service — the
+// "scalable information search and aggregation services" deployment the
+// paper positions Omini inside (its Figure 3 takes requests from users
+// *and applications*). Aggregators POST pages and receive structured
+// objects; learned rules and wrappers are cached per site so repeat
+// extractions take the fast path.
+//
+//	ominiserve -addr :8800 &
+//	curl -s --data-binary @page.html 'localhost:8800/extract?site=www.example.com'
+//	curl -s --data-binary @page.html 'localhost:8800/records?site=www.example.com'
+//	curl -s 'localhost:8800/rules'
+//
+// Endpoints:
+//
+//	POST /extract?site=S   -> objects, subtree path, separator, confidence
+//	POST /records?site=S   -> wrapper records (named fields); learns the
+//	                          site's wrapper on first use
+//	GET  /rules            -> the cached extraction rules as JSON
+//	GET  /healthz          -> liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"omini/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8800", "listen address")
+		maxBytes = flag.Int64("max-bytes", 8<<20, "maximum request body size")
+	)
+	flag.Parse()
+	srv := serve.New(serve.Config{MaxBodyBytes: *maxBytes})
+	log.Printf("ominiserve listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "ominiserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command sitegen materializes the synthetic evaluation corpus to disk so
+// the generated pages can be inspected in a browser or diffed across
+// versions of the generator.
+//
+//	sitegen -out ./corpus -pages 5
+//	sitegen -out ./corpus -set comparison -truth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"omini/internal/corpus"
+	"omini/internal/sitegen"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "corpus", "output directory")
+		pages  = flag.Int("pages", 5, "pages per site")
+		set    = flag.String("set", "all", "which set: test, experimental, comparison, replicas, all")
+		truth  = flag.Bool("truth", false, "also write a .truth file per page")
+		silent = flag.Bool("q", false, "suppress per-site progress")
+	)
+	flag.Parse()
+	if err := run(*out, *set, *pages, *truth, *silent); err != nil {
+		fmt.Fprintln(os.Stderr, "sitegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, set string, pages int, truth, silent bool) error {
+	c := &corpus.Corpus{PagesPerSite: pages}
+	var sets []corpus.SitePages
+	switch set {
+	case "test":
+		sets = c.TestSet()
+	case "experimental":
+		sets = c.ExperimentalSet()
+	case "comparison":
+		sets = c.ComparisonSet()
+	case "replicas":
+		// handled below
+	case "all":
+		sets = append(c.TestSet(), c.ExperimentalSet()...)
+	default:
+		return fmt.Errorf("unknown set %q", set)
+	}
+
+	total := 0
+	for _, sp := range sets {
+		dir := filepath.Join(out, sp.Spec.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, page := range sp.Pages {
+			if err := writePage(dir, page, truth); err != nil {
+				return err
+			}
+			total++
+		}
+		if !silent {
+			fmt.Printf("%-32s %d pages (%s layout)\n", sp.Spec.Name, len(sp.Pages), sp.Spec.LayoutName)
+		}
+	}
+
+	if set == "all" || set == "replicas" {
+		dir := filepath.Join(out, "replicas")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, page := range []sitegen.Page{sitegen.LOC(), sitegen.Canoe()} {
+			if err := writePage(dir, page, truth); err != nil {
+				return err
+			}
+			total++
+		}
+		if !silent {
+			fmt.Printf("%-32s 2 pages (paper replicas)\n", "replicas")
+		}
+	}
+	if !silent {
+		fmt.Printf("wrote %d pages under %s\n", total, out)
+	}
+	return nil
+}
+
+func writePage(dir string, page sitegen.Page, truth bool) error {
+	path := filepath.Join(dir, page.Name+".html")
+	if err := os.WriteFile(path, []byte(page.HTML), 0o644); err != nil {
+		return err
+	}
+	if !truth {
+		return nil
+	}
+	meta := fmt.Sprintf("subtree: %s\nseparators: %v\nobjects: %d\n",
+		page.Truth.SubtreePath, page.Truth.Separators, page.Truth.ObjectCount)
+	return os.WriteFile(filepath.Join(dir, page.Name+".truth"), []byte(meta), 0o644)
+}

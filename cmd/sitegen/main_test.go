@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCorpus(t *testing.T) {
+	out := t.TempDir()
+	if err := run(out, "comparison", 2, true, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("wrote %d site dirs, want 5", len(entries))
+	}
+	// Each site dir holds 2 pages + 2 truth files.
+	siteDir := filepath.Join(out, entries[0].Name())
+	files, err := os.ReadDir(siteDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Errorf("site dir holds %d files, want 4", len(files))
+	}
+	var sawTruth bool
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), ".truth") {
+			sawTruth = true
+			data, err := os.ReadFile(filepath.Join(siteDir, f.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(data), "subtree:") {
+				t.Errorf("truth file content: %s", data)
+			}
+		}
+	}
+	if !sawTruth {
+		t.Error("no truth files written")
+	}
+}
+
+func TestRunReplicas(t *testing.T) {
+	out := t.TempDir()
+	if err := run(out, "replicas", 1, false, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"loc-search.html", "canoe-search.html"} {
+		if _, err := os.Stat(filepath.Join(out, "replicas", name)); err != nil {
+			t.Errorf("replica %s missing: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownSet(t *testing.T) {
+	if err := run(t.TempDir(), "bogus", 1, false, true); err == nil {
+		t.Error("unknown set accepted")
+	}
+}

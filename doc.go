@@ -1,0 +1,31 @@
+// Package omini is a from-scratch Go implementation of Omini, the fully
+// automated object extraction system for the World Wide Web of Buttler, Liu
+// and Pu (ICDCS 2001).
+//
+// Given an HTML page containing multiple data objects — search results,
+// product listings, news items — Omini extracts the objects with no
+// site-specific configuration, in three phases:
+//
+//  1. The page is normalized into a well-formed document and converted to a
+//     tag tree.
+//  2. The object-rich subtree is located (combining fanout, size-increase
+//     and tag-count heuristics), then the object separator tag is
+//     discovered by probabilistically combining five independent heuristics
+//     (standard deviation, repeating pattern, identifiable path separator,
+//     partial path, and sibling tag).
+//  3. Candidate objects are constructed around the separator and refined,
+//     dropping candidates that do not structurally conform to the majority.
+//
+// The quickest route in is Extract:
+//
+//	objects, err := omini.Extract(html)
+//	for _, o := range objects {
+//	    fmt.Println(o.Text())
+//	}
+//
+// For control over heuristics, refinement, and the per-site rule cache that
+// halves repeat-extraction cost, construct an Extractor. The internal
+// packages additionally expose every individual heuristic, the synthetic
+// evaluation corpus, and the benchmark harness that regenerates each table
+// of the paper; see DESIGN.md and EXPERIMENTS.md.
+package omini

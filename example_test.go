@@ -1,0 +1,90 @@
+package omini_test
+
+import (
+	"fmt"
+
+	"omini"
+)
+
+const resultPage = `<html><head><title>results</title></head><body>
+<table><tr><td><a href="/">Home</a></td><td><a href="/help">Help</a></td></tr></table>
+<ul>
+<li><a href="/r/1">First result</a> with a short description $9.99</li>
+<li><a href="/r/2">Second result</a> with another description $19.99</li>
+<li><a href="/r/3">Third result</a> and one more line of text $29.99</li>
+</ul>
+<p><a href="/page/2">Next page</a></p>
+</body></html>`
+
+// The one-call entry point: objects out, no configuration in.
+func ExampleExtract() {
+	objects, err := omini.Extract(resultPage)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(objects), "objects")
+	fmt.Println(objects[0].Text())
+	// Output:
+	// 3 objects
+	// First resultwith a short description $9.99
+}
+
+// The Extractor exposes what was discovered: the object-rich subtree path,
+// the separator tag, and the combined candidate probabilities.
+func ExampleExtractor_ExtractResult() {
+	res, err := omini.NewExtractor().ExtractResult(resultPage)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("subtree:", res.SubtreePath)
+	fmt.Println("separator:", res.Separator)
+	// Output:
+	// subtree: html[1].body[2].ul[2]
+	// separator: li
+}
+
+// Rules learned from one page replay on the site's other pages, skipping
+// discovery.
+func ExampleExtractor_Learn() {
+	e := omini.NewExtractor()
+	_, rule, err := e.Learn("www.example.com", resultPage)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fast, err := e.ExtractWithRule(resultPage, rule)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rule.Separator, len(fast.Objects))
+	// Output:
+	// li 3
+}
+
+// A wrapper turns objects into named-field records.
+func ExampleLearnWrapper() {
+	w, err := omini.LearnWrapper("www.example.com", resultPage)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	records, err := w.Extract(resultPage)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(records[0]["title"], records[0]["url"])
+	// Output:
+	// First result /r/1
+}
+
+// FindNextPage locates the crawl pointer to the rest of the result set.
+func ExampleFindNextPage() {
+	href, ok := omini.FindNextPage(resultPage)
+	fmt.Println(href, ok)
+	// Output:
+	// /page/2 true
+}

@@ -1,0 +1,59 @@
+// Bookstore: extract products from the table-heavy layouts that dominated
+// 2000-era commerce sites (the amazon/bn/borders pattern of the paper's
+// Table 12), and inspect the full extraction result — the discovered
+// subtree path, the chosen separator, and the combined candidate ranking
+// with compound probabilities.
+//
+//	go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omini"
+	"omini/internal/corpus"
+)
+
+func main() {
+	// Pull a generated bookstore page from the evaluation corpus: every
+	// result row is one object, wrapped in banner/nav/sidebar chrome.
+	var site corpusSite
+	for _, spec := range corpus.AllSpecs() {
+		if spec.Name == "www.bn.example" {
+			site = corpusSite{spec.Name, spec.Page(7).HTML, spec.Page(7).Truth.ObjectCount}
+		}
+	}
+	if site.html == "" {
+		log.Fatal("bookstore site missing from corpus")
+	}
+
+	extractor := omini.NewExtractor()
+	res, err := extractor.ExtractResult(site.html)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("site:       %s\n", site.name)
+	fmt.Printf("subtree:    %s\n", res.SubtreePath)
+	fmt.Printf("separator:  %q\n", res.Separator)
+	fmt.Printf("candidates:\n")
+	for _, c := range res.Candidates {
+		fmt.Printf("  %-8s P=%.3f (ranked by %d heuristics)\n", c.Tag, c.Prob, c.Support)
+	}
+	fmt.Printf("objects:    %d extracted, %d expected, %d before refinement\n\n",
+		len(res.Objects), site.expected, len(res.Raw))
+	for i, o := range res.Objects {
+		if i == 3 {
+			fmt.Printf("... and %d more\n", len(res.Objects)-3)
+			break
+		}
+		fmt.Printf("%d. %s\n", i+1, o.Text())
+	}
+}
+
+type corpusSite struct {
+	name     string
+	html     string
+	expected int
+}

@@ -1,0 +1,44 @@
+// Quickstart: extract the data objects from an HTML page with one call.
+//
+// The page below is the kind Omini targets: a search result list wrapped in
+// navigation chrome. No configuration, selectors, or templates are given —
+// the pipeline locates the object-rich region and the separator tag on its
+// own.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omini"
+)
+
+const page = `
+<html><head><title>BookFinder results</title></head><body>
+<table><tr><td><img src="/logo.gif"></td><td><a href="/">Home</a></td>
+<td><a href="/help">Help</a></td></tr></table>
+<ul>
+  <li><a href="/b/1">The Silent Canyon</a> — a field guide to desert acoustics.
+      <b>by R. Okafor</b> $12.95 <a href="/b/1/x">details</a></li>
+  <li><a href="/b/2">Distributed Gardens</a> — growing systems that span continents.
+      <b>by L. Tanaka</b> $24.00 <a href="/b/2/x">details</a></li>
+  <li><a href="/b/3">The Annotated Compiler</a> — twelve passes, explained slowly.
+      <b>by M. Duarte</b> $38.50 <a href="/b/3/x">details</a></li>
+  <li><a href="/b/4">Practical Satellites</a> — orbital mechanics for weekends.
+      <b>by A. Novak</b> $19.99 <a href="/b/4/x">details</a></li>
+</ul>
+<p><a href="/next">Next page</a> - Copyright 2000.</p>
+</body></html>`
+
+func main() {
+	objects, err := omini.Extract(page)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted %d objects:\n", len(objects))
+	for i, o := range objects {
+		fmt.Printf("%d. %s\n", i+1, o.Text())
+	}
+}

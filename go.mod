@@ -1,0 +1,3 @@
+module omini
+
+go 1.22

@@ -1,0 +1,87 @@
+package combine
+
+import (
+	"strings"
+
+	"omini/internal/separator"
+)
+
+// letterOrder fixes the canonical ordering of heuristic letters in
+// combination names, matching the paper's usage (HC→H, IT→T, RP→R, SD→S,
+// IPS→I, PP→P, SB→B; "RSIPB" is the all-five Omini combination, "HTRS" the
+// BYU one).
+const letterOrder = "HTRSIPB"
+
+// Combination is a named set of separator heuristics evaluated together.
+type Combination struct {
+	// Name is the letter acronym, e.g. "RSIPB".
+	Name string
+	// Heuristics are the members, in canonical letter order.
+	Heuristics []separator.Heuristic
+}
+
+// NewCombination builds a Combination from any set of heuristics,
+// normalizing the member order and name.
+func NewCombination(hs []separator.Heuristic) Combination {
+	ordered := make([]separator.Heuristic, 0, len(hs))
+	for _, letter := range letterOrder {
+		for _, h := range hs {
+			if rune(h.Letter()) == letter {
+				ordered = append(ordered, h)
+			}
+		}
+	}
+	var name strings.Builder
+	for _, h := range ordered {
+		name.WriteByte(h.Letter())
+	}
+	return Combination{Name: name.String(), Heuristics: ordered}
+}
+
+// RSIPB returns the paper's best combination: all five Omini heuristics.
+func RSIPB() Combination {
+	return NewCombination(separator.All())
+}
+
+// HTRS returns the BYU four-heuristic combination of Section 6.7 (HC, IT,
+// RP, SD — everything in Embley et al. except the ontology heuristic).
+func HTRS() Combination {
+	return NewCombination([]separator.Heuristic{
+		separator.HC(), separator.IT(), separator.RP(), separator.SD(),
+	})
+}
+
+// Combinations enumerates every subset of hs with at least minSize members,
+// in order of increasing size then canonical letter order. With the five
+// Omini heuristics and minSize 2 this yields the paper's 26 combinations
+// (C(5,2)+C(5,3)+C(5,4)+C(5,5) = 10+10+5+1).
+func Combinations(hs []separator.Heuristic, minSize int) []Combination {
+	var out []Combination
+	n := len(hs)
+	for size := minSize; size <= n; size++ {
+		idx := make([]int, size)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			subset := make([]separator.Heuristic, size)
+			for i, j := range idx {
+				subset[i] = hs[j]
+			}
+			out = append(out, NewCombination(subset))
+			// Advance the combination index vector.
+			i := size - 1
+			for i >= 0 && idx[i] == n-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package combine implements the probabilistic combination of object
+// separator heuristics from the paper's Section 6: each heuristic carries an
+// empirical probability that its rank-r candidate is the correct separator
+// (Table 10); the evidence of several independent heuristics for one tag is
+// merged with the inclusion–exclusion law P(A∪B) = P(A)+P(B)−P(A∩B); and
+// the tag with the highest compound probability wins. The package also
+// enumerates all 26 heuristic combinations so the Table 11 sweep can be
+// reproduced, and implements the BYU HTRS combination for Section 6.7.
+package combine
+
+import (
+	"omini/internal/separator"
+	"omini/internal/tagtree"
+)
+
+// maxRank is the deepest rank carrying probability mass in the paper's
+// tables; candidates ranked deeper contribute no evidence.
+const maxRank = 5
+
+// ProbTable maps a heuristic name to the empirical probability that its
+// candidate at rank r (1-based, index r-1) is the correct separator.
+type ProbTable map[string][]float64
+
+// PaperProbs returns the rank-probability distribution the paper reports
+// for its test data (Table 10 for the Omini heuristics, Table 20 for BYU's
+// HC and IT). It is the default evidence table for the combined algorithm;
+// the evaluation harness can substitute a table measured on this
+// repository's own corpus.
+func PaperProbs() ProbTable {
+	return ProbTable{
+		"SD":  {0.78, 0.18, 0.10, 0.00, 0.00},
+		"RP":  {0.73, 0.13, 0.00, 0.00, 0.00},
+		"IPS": {0.40, 0.46, 0.13, 0.07, 0.00},
+		"PP":  {0.85, 0.06, 0.02, 0.00, 0.00},
+		"SB":  {0.63, 0.17, 0.12, 0.06, 0.03},
+		"HC":  {0.79, 0.13, 0.14, 0.00, 0.00},
+		"IT":  {0.46, 0.33, 0.20, 0.06, 0.00},
+	}
+}
+
+// Prob returns the probability the table assigns to rank (1-based) of the
+// named heuristic; 0 when the heuristic or rank is unknown.
+func (t ProbTable) Prob(heuristic string, rank int) float64 {
+	probs, ok := t[heuristic]
+	if !ok || rank < 1 || rank > len(probs) || rank > maxRank {
+		return 0
+	}
+	return probs[rank-1]
+}
+
+// Candidate is one entry of the combined ranking.
+type Candidate struct {
+	// Tag is the candidate separator tag.
+	Tag string
+	// Prob is the compound probability that Tag is the correct separator.
+	Prob float64
+	// Support counts how many heuristics ranked the tag at all.
+	Support int
+}
+
+// RankedList is one heuristic's candidate ranking, named so the probability
+// table can be consulted.
+type RankedList struct {
+	// Name is the heuristic's short name ("SD", "RP", ...).
+	Name string
+	// Ranked is the heuristic's candidate list, best first.
+	Ranked []separator.Ranked
+}
+
+// RankAll runs each heuristic once on the subtree. The result feeds
+// CombineLists, letting callers (like the 26-combination sweep) evaluate
+// many combinations without re-running the heuristics.
+func RankAll(sub *tagtree.Node, heuristics []separator.Heuristic) []RankedList {
+	lists := make([]RankedList, len(heuristics))
+	for i, h := range heuristics {
+		lists[i] = RankedList{Name: h.Name(), Ranked: h.Rank(sub)}
+	}
+	return lists
+}
+
+// Combine runs every heuristic on the subtree, converts ranks to
+// probabilities via the table, and merges per-tag evidence with
+// inclusion–exclusion: P(t) = 1 − Π_h (1 − p_h(t)). The result is sorted by
+// descending compound probability; ties prefer broader support, then the
+// tag's first appearance among the subtree's children.
+func Combine(sub *tagtree.Node, heuristics []separator.Heuristic, table ProbTable) []Candidate {
+	return CombineLists(RankAll(sub, heuristics), table, childFirstIndex(sub))
+}
+
+// CombineLists merges pre-computed heuristic rankings, as Combine does.
+// tieBreak maps tags to their document position for deterministic ordering
+// of equal-probability candidates (ChildFirstIndex supplies it); nil is
+// allowed.
+func CombineLists(lists []RankedList, table ProbTable, tieBreak map[string]int) []Candidate {
+	type acc struct {
+		miss    float64 // Π (1 − p_h)
+		support int
+	}
+	accs := make(map[string]*acc)
+	var tags []string
+	for _, list := range lists {
+		for i, r := range list.Ranked {
+			p := table.Prob(list.Name, i+1)
+			a, ok := accs[r.Tag]
+			if !ok {
+				a = &acc{miss: 1}
+				accs[r.Tag] = a
+				tags = append(tags, r.Tag)
+			}
+			a.support++
+			a.miss *= 1 - p
+		}
+	}
+	out := make([]Candidate, 0, len(tags))
+	for _, tag := range tags {
+		a := accs[tag]
+		out = append(out, Candidate{Tag: tag, Prob: 1 - a.miss, Support: a.support})
+	}
+	sortCandidates(out, tieBreak)
+	return out
+}
+
+// ChildFirstIndex maps each child tag of sub to the index of its first
+// appearance, the tie-break CombineLists expects.
+func ChildFirstIndex(sub *tagtree.Node) map[string]int {
+	return childFirstIndex(sub)
+}
+
+// Best returns the combined algorithm's chosen separator tag, or "" when no
+// heuristic produced a candidate.
+func Best(sub *tagtree.Node, heuristics []separator.Heuristic, table ProbTable) string {
+	cands := Combine(sub, heuristics, table)
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[0].Tag
+}
+
+// childFirstIndex maps each child tag of sub to the index of its first
+// appearance, for deterministic tie-breaks.
+func childFirstIndex(sub *tagtree.Node) map[string]int {
+	m := make(map[string]int)
+	for i, c := range sub.Children {
+		if c.IsContent() {
+			continue
+		}
+		if _, ok := m[c.Tag]; !ok {
+			m[c.Tag] = i
+		}
+	}
+	return m
+}
+
+func sortCandidates(cands []Candidate, firstChild map[string]int) {
+	pos := func(tag string) int {
+		if p, ok := firstChild[tag]; ok {
+			return p
+		}
+		return 1 << 30
+	}
+	// Insertion sort keeps the dependency surface zero and the candidate
+	// lists are tiny (one entry per distinct child tag).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cands[j-1], cands[j]
+			less := b.Prob > a.Prob ||
+				(b.Prob == a.Prob && b.Support > a.Support) ||
+				(b.Prob == a.Prob && b.Support == a.Support && pos(b.Tag) < pos(a.Tag))
+			if !less {
+				break
+			}
+			cands[j-1], cands[j] = b, a
+		}
+	}
+}

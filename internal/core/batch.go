@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"omini/internal/rules"
+)
+
+// Batch extraction: the aggregation-server workload the paper's
+// introduction motivates — hundreds of result pages from many sites,
+// extracted concurrently, with each site's first page paying for discovery
+// and the rest replaying the learned rule (Section 6.6's optimization,
+// applied fleet-wide).
+
+// BatchRequest is one page to extract.
+type BatchRequest struct {
+	// Site groups requests for rule reuse; empty disables the fast path
+	// for this request.
+	Site string
+	// HTML is the page source.
+	HTML string
+}
+
+// BatchResult is the outcome for one request, in input order.
+type BatchResult struct {
+	// Site echoes the request's site.
+	Site string
+	// Result is the extraction outcome; nil when Err is set.
+	Result *Result
+	// FromRule reports whether the cached-rule fast path served this page.
+	FromRule bool
+	// Err is the per-page failure, if any.
+	Err error
+}
+
+// BatchOptions tune ExtractBatch.
+type BatchOptions struct {
+	// Workers bounds concurrency (default: GOMAXPROCS).
+	Workers int
+	// Rules supplies (and collects) per-site extraction rules; nil uses a
+	// private store for the batch.
+	Rules *rules.Store
+}
+
+// ExtractBatch extracts every request concurrently, preserving input order
+// in the results. Rules are learned on first success per site and replayed
+// on subsequent pages; a replay that no longer matches falls back to
+// rediscovery and refreshes the cached rule. Cancelling the context stops
+// dispatching further pages (in-flight pages finish); their results carry
+// ctx.Err().
+func (e *Extractor) ExtractBatch(ctx context.Context, reqs []BatchRequest, opts BatchOptions) []BatchResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	store := opts.Rules
+	if store == nil {
+		store = rules.NewStore()
+	}
+
+	results := make([]BatchResult, len(reqs))
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := reqs[i]
+				results[i] = e.extractOne(req, store)
+			}
+		}()
+	}
+	i := 0
+dispatch:
+	for ; i < len(reqs); i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	// Mark undispatched requests as cancelled.
+	for ; i < len(reqs); i++ {
+		if results[i].Result == nil && results[i].Err == nil {
+			results[i] = BatchResult{Site: reqs[i].Site, Err: ctx.Err()}
+		}
+	}
+	return results
+}
+
+// extractOne serves a single batch request through the rule cache.
+func (e *Extractor) extractOne(req BatchRequest, store *rules.Store) BatchResult {
+	out := BatchResult{Site: req.Site}
+	if req.Site != "" {
+		if rule, err := store.Get(req.Site); err == nil {
+			if res, err := e.ExtractWithRule(req.HTML, rule); err == nil {
+				out.Result = res
+				out.FromRule = true
+				return out
+			}
+			// Stale rule; rediscover below and refresh.
+		}
+	}
+	res, err := e.Extract(req.HTML)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Result = res
+	if req.Site != "" {
+		// Best effort: a racing worker may already have stored a rule for
+		// the site; last write wins and both rules are valid.
+		_ = store.Put(res.Rule(req.Site))
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+// Confidence scoring implements the self-evaluation hook the paper lists
+// as future work ("the automation of evaluation process and incorporation
+// of feedback-based refinement of object extraction"): a score in [0,1]
+// summarizing how much the extraction should be trusted, computable with
+// no ground truth. Downstream aggregation services use it to decide when
+// to accept a result, when to re-learn a cached rule, and when to flag a
+// site for inspection.
+
+// Confidence rates the extraction from internal evidence:
+//
+//   - Separator agreement: the compound probability of the chosen tag and
+//     its margin over the runner-up. A tag every heuristic ranked first is
+//     near-certain; a coin-flip between two candidates is not.
+//   - Object yield: one object (or none) means the page likely holds no
+//     object list; a healthy list has several conforming objects.
+//   - Refinement attrition: when most candidates are discarded as
+//     non-conforming, the separator probably cut the page badly.
+func (r *Result) Confidence() float64 {
+	if r == nil || len(r.Objects) == 0 {
+		return 0
+	}
+	score := 1.0
+
+	// Separator evidence.
+	if len(r.Candidates) > 0 {
+		top := r.Candidates[0].Prob
+		margin := top
+		if len(r.Candidates) > 1 {
+			margin = top - r.Candidates[1].Prob
+		}
+		// Normalize the margin's influence: a decisive top candidate
+		// keeps the factor near the top probability; a near-tie halves
+		// confidence.
+		score *= top * (0.5 + 0.5*clamp01(margin*4))
+	}
+	// A rule-replayed extraction has no candidate ranking; its evidence is
+	// that the cached rule still matched, which leaves score at 1 here.
+
+	// Object yield: fewer than three objects is weak evidence of a list.
+	switch len(r.Objects) {
+	case 1:
+		score *= 0.4
+	case 2:
+		score *= 0.7
+	}
+
+	// Refinement attrition.
+	if len(r.Raw) > 0 {
+		kept := float64(len(r.Objects)) / float64(len(r.Raw))
+		// Shedding a header/footer is normal; keeping less than half the
+		// candidates is not.
+		score *= 0.5 + 0.5*clamp01(kept*2-0.5)
+	}
+	return clamp01(score)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"omini/internal/combine"
+	"omini/internal/sitegen"
+)
+
+func TestConfidenceOnCleanPages(t *testing.T) {
+	e := New(Options{})
+	for _, page := range []sitegen.Page{sitegen.LOC(), sitegen.Canoe()} {
+		res, err := e.Extract(page.HTML)
+		if err != nil {
+			t.Fatalf("%s: %v", page.Name, err)
+		}
+		if c := res.Confidence(); c < 0.7 {
+			t.Errorf("%s: confidence %.3f below 0.7 on a clean page", page.Name, c)
+		}
+	}
+}
+
+func TestConfidenceLowOnDegeneratePages(t *testing.T) {
+	e := New(Options{})
+	// A page with a single quasi-object should score poorly.
+	res, err := e.Extract(`<html><body><div>` +
+		`<p><a href="/only">The only thing here</a> one description</p>` +
+		`<p>second paragraph of prose, not a result</p>` +
+		`</div></body></html>`)
+	if err != nil {
+		t.Skip("degenerate page yielded no extraction at all (also fine)")
+	}
+	clean, err := e.Extract(sitegen.Canoe().HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence() >= clean.Confidence() {
+		t.Errorf("degenerate page confidence %.3f not below clean page %.3f",
+			res.Confidence(), clean.Confidence())
+	}
+}
+
+func TestConfidenceBounds(t *testing.T) {
+	var nilResult *Result
+	if got := nilResult.Confidence(); got != 0 {
+		t.Errorf("nil result confidence = %v", got)
+	}
+	if got := (&Result{}).Confidence(); got != 0 {
+		t.Errorf("empty result confidence = %v", got)
+	}
+	// Any real extraction stays within [0,1].
+	res, err := New(Options{}).Extract(sitegen.LOC().HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := res.Confidence(); c < 0 || c > 1 {
+		t.Errorf("confidence %v out of [0,1]", c)
+	}
+}
+
+func TestConfidenceMarginMatters(t *testing.T) {
+	base := &Result{
+		Candidates: []combine.Candidate{{Tag: "tr", Prob: 0.99}, {Tag: "td", Prob: 0.10}},
+	}
+	tied := &Result{
+		Candidates: []combine.Candidate{{Tag: "tr", Prob: 0.99}, {Tag: "td", Prob: 0.98}},
+	}
+	// Give both the same healthy object yield.
+	fill := func(r *Result) {
+		res, err := New(Options{}).Extract(sitegen.Canoe().HTML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Objects = res.Objects
+		r.Raw = res.Raw
+	}
+	fill(base)
+	fill(tied)
+	if base.Confidence() <= tied.Confidence() {
+		t.Errorf("decisive ranking %.3f not above near-tie %.3f",
+			base.Confidence(), tied.Confidence())
+	}
+}

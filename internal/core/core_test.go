@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"omini/internal/rules"
+	"omini/internal/separator"
+	"omini/internal/sitegen"
+	"omini/internal/subtree"
+)
+
+func TestExtractLOCEndToEnd(t *testing.T) {
+	page := sitegen.LOC()
+	e := New(Options{})
+	res, err := e.Extract(page.HTML)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if res.SubtreePath != page.Truth.SubtreePath {
+		t.Errorf("subtree = %s, want %s", res.SubtreePath, page.Truth.SubtreePath)
+	}
+	if !page.Truth.CorrectSeparator(res.Separator) {
+		t.Errorf("separator = %q, want one of %v", res.Separator, page.Truth.Separators)
+	}
+	if len(res.Objects) != page.Truth.ObjectCount {
+		t.Errorf("objects = %d, want %d", len(res.Objects), page.Truth.ObjectCount)
+	}
+	if len(res.Raw) < len(res.Objects) {
+		t.Error("raw candidates fewer than refined objects")
+	}
+	for _, o := range res.Objects {
+		if !strings.Contains(o.Text(), "Call number") {
+			t.Errorf("extracted non-record: %q", o.Text())
+		}
+	}
+}
+
+func TestExtractCanoeEndToEnd(t *testing.T) {
+	page := sitegen.Canoe()
+	res, err := New(Options{}).Extract(page.HTML)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if res.SubtreePath != page.Truth.SubtreePath {
+		t.Errorf("subtree = %s, want %s", res.SubtreePath, page.Truth.SubtreePath)
+	}
+	if res.Separator != "table" {
+		t.Errorf("separator = %q, want table", res.Separator)
+	}
+	if len(res.Objects) != page.Truth.ObjectCount {
+		t.Errorf("objects = %d, want %d", len(res.Objects), page.Truth.ObjectCount)
+	}
+}
+
+func TestExtractRecordsTimings(t *testing.T) {
+	res, err := New(Options{}).Extract(sitegen.Canoe().HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing.Parse <= 0 || res.Timing.Subtree <= 0 || res.Timing.Separator <= 0 {
+		t.Errorf("phases not timed: %+v", res.Timing)
+	}
+	if res.Timing.Total() <= 0 {
+		t.Error("total timing zero")
+	}
+}
+
+func TestExtractWithRuleFastPath(t *testing.T) {
+	page := sitegen.Canoe()
+	e := New(Options{})
+	full, err := e.Extract(page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := full.Rule(page.Site)
+	if rule.Site != page.Site || !rule.Valid() {
+		t.Fatalf("bad rule: %+v", rule)
+	}
+
+	fast, err := e.ExtractWithRule(page.HTML, rule)
+	if err != nil {
+		t.Fatalf("ExtractWithRule: %v", err)
+	}
+	if fast.Separator != full.Separator || fast.SubtreePath != full.SubtreePath {
+		t.Error("fast path diverged from discovery")
+	}
+	if len(fast.Objects) != len(full.Objects) {
+		t.Errorf("fast objects = %d, full = %d", len(fast.Objects), len(full.Objects))
+	}
+	if fast.Timing.Separator != 0 || fast.Timing.Combine != 0 {
+		t.Error("fast path should skip separator discovery")
+	}
+}
+
+func TestExtractWithRuleMismatch(t *testing.T) {
+	e := New(Options{})
+	page := sitegen.LOC()
+	_, err := e.ExtractWithRule(page.HTML, rulesFor("x", "html[1].body[2].div[9]", "tr"))
+	if !errors.Is(err, ErrRuleMismatch) {
+		t.Errorf("bad path err = %v, want ErrRuleMismatch", err)
+	}
+	_, err = e.ExtractWithRule(page.HTML, rulesFor("x", "html[1].body[2]", "blockquote"))
+	if !errors.Is(err, ErrRuleMismatch) {
+		t.Errorf("absent separator err = %v, want ErrRuleMismatch", err)
+	}
+	_, err = e.ExtractWithRule(page.HTML, rulesFor("x", "", ""))
+	if !errors.Is(err, ErrRuleMismatch) {
+		t.Errorf("invalid rule err = %v, want ErrRuleMismatch", err)
+	}
+}
+
+func TestExtractNoObjects(t *testing.T) {
+	// A body holding nothing but text offers no candidate tags at all.
+	_, err := New(Options{}).Extract(`<html><body>nothing but prose here</body></html>`)
+	if !errors.Is(err, ErrNoObjects) {
+		t.Errorf("err = %v, want ErrNoObjects", err)
+	}
+}
+
+func TestExtractParseError(t *testing.T) {
+	if _, err := New(Options{}).Extract(""); err == nil {
+		t.Error("empty document extracted successfully")
+	}
+}
+
+func TestOptionsCustomHeuristics(t *testing.T) {
+	page := sitegen.Canoe()
+	// HF picks the nav font; PP alone on that subtree behaves differently
+	// from the default pipeline, demonstrating the options are honored.
+	e := New(Options{
+		Subtree:    subtree.HF(),
+		Separators: []separator.Heuristic{separator.PP()},
+	})
+	res, err := e.Extract(page.HTML)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if res.SubtreePath == page.Truth.SubtreePath {
+		t.Errorf("HF subtree should differ from the truth path on the canoe page")
+	}
+}
+
+func TestSkipRefine(t *testing.T) {
+	page := sitegen.Canoe()
+	res, err := New(Options{SkipRefine: true}).Extract(page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != len(res.Raw) {
+		t.Error("SkipRefine did not bypass refinement")
+	}
+	if len(res.Objects) <= page.Truth.ObjectCount {
+		t.Errorf("raw objects = %d, expected chrome candidates beyond %d",
+			len(res.Objects), page.Truth.ObjectCount)
+	}
+}
+
+func TestSkipNormalize(t *testing.T) {
+	// A genuinely well-formed page (every tag explicitly closed) extracts
+	// the same objects without the tidy pass.
+	src := `<html><body><ul>` +
+		`<li><b>alpha</b> first item description text</li>` +
+		`<li><b>beta</b> second item description text</li>` +
+		`<li><b>gamma</b> third item description text</li>` +
+		`<li><b>delta</b> fourth item description text</li>` +
+		`</ul></body></html>`
+	res, err := New(Options{SkipNormalize: true}).Extract(src)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if res.Separator != "li" {
+		t.Errorf("separator = %q, want li", res.Separator)
+	}
+	if len(res.Objects) != 4 {
+		t.Errorf("objects = %d, want 4", len(res.Objects))
+	}
+}
+
+func rulesFor(site, path, sep string) rules.Rule {
+	return rules.Rule{Site: site, SubtreePath: path, Separator: sep}
+}
+
+// The paper's document model covers "HTML or XML documents"; an RSS-style
+// XML feed of repeated <item> elements extracts like any result list.
+func TestExtractXMLFeed(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0"?><rss version="0.91"><channel>`)
+	b.WriteString(`<title>Example Feed</title><link>http://feed.example/</link>`)
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, `<item><title>Story number %d with a headline</title>`+
+			`<link>http://feed.example/story/%d</link>`+
+			`<description>A reasonably long description of story %d for the feed reader.</description></item>`, i, i, i)
+	}
+	b.WriteString(`</channel></rss>`)
+	res, err := New(Options{}).Extract(b.String())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if res.Separator != "item" {
+		t.Errorf("separator = %q, want item", res.Separator)
+	}
+	if len(res.Objects) != 8 {
+		t.Errorf("objects = %d, want 8", len(res.Objects))
+	}
+	for i, o := range res.Objects {
+		if !strings.Contains(o.Text(), "Story number") {
+			t.Errorf("object %d = %q", i, o.Text())
+		}
+	}
+}

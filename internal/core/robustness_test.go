@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"omini/internal/sitegen"
+)
+
+// Failure injection: real crawls deliver truncated transfers, mid-tag
+// cuts, duplicated fragments and binary garbage. The pipeline must never
+// panic on any input — it either extracts something or returns an error.
+
+// mutate applies a deterministic corruption to a page.
+func mutate(kind int, html string, rng *rand.Rand) string {
+	if len(html) == 0 {
+		return html
+	}
+	switch kind {
+	case 0: // truncate at an arbitrary byte (mid-tag cuts included)
+		return html[:rng.Intn(len(html))]
+	case 1: // drop a random slice from the middle
+		a := rng.Intn(len(html))
+		b := a + rng.Intn(len(html)-a)
+		return html[:a] + html[b:]
+	case 2: // duplicate a fragment (repeated-content pathology)
+		a := rng.Intn(len(html))
+		b := a + rng.Intn(len(html)-a)
+		return html[:b] + html[a:b] + html[b:]
+	case 3: // strip all structural end tags (keep raw-text closers, which
+		// even 2000-era authoring tools emitted — an unclosed <title>
+		// legitimately swallows the document)
+		var sb strings.Builder
+		for i := 0; i < len(html); i++ {
+			if html[i] == '<' && i+1 < len(html) && html[i+1] == '/' {
+				end := strings.IndexByte(html[i:], '>')
+				if end < 0 {
+					sb.WriteString(html[i:])
+					break
+				}
+				name := strings.ToLower(strings.TrimSpace(html[i+2 : i+end]))
+				switch name {
+				case "title", "script", "style", "textarea":
+					sb.WriteString(html[i : i+end+1])
+				}
+				i += end
+				continue
+			}
+			sb.WriteByte(html[i])
+		}
+		return sb.String()
+	case 4: // inject binary garbage at a random position
+		pos := rng.Intn(len(html))
+		return html[:pos] + "\x00\xff\xfe<\x01>" + html[pos:]
+	case 5: // uppercase everything (case-handling stress)
+		return strings.ToUpper(html)
+	default:
+		return html
+	}
+}
+
+func TestPipelineSurvivesCorruptedPages(t *testing.T) {
+	pages := []sitegen.Page{sitegen.LOC(), sitegen.Canoe()}
+	spec := sitegen.SiteSpec{
+		Name: "robust.example", Domain: sitegen.DomainBooks,
+		LayoutName: "item-table",
+		Noise:      sitegen.NoiseSpec{UncloseTags: true, InlineHeader: true},
+		MinItems:   5, MaxItems: 12,
+	}
+	pages = append(pages, spec.Pages(3)...)
+
+	e := New(Options{})
+	rng := rand.New(rand.NewSource(7))
+	for _, page := range pages {
+		for kind := 0; kind < 6; kind++ {
+			for round := 0; round < 5; round++ {
+				corrupted := mutate(kind, page.HTML, rng)
+				res, err := e.Extract(corrupted)
+				if err != nil {
+					continue // clean refusal is acceptable
+				}
+				if res == nil || res.Separator == "" {
+					t.Errorf("%s kind=%d: nil/empty result without error", page.Name, kind)
+				}
+			}
+		}
+	}
+}
+
+// Stripping end tags must still extract the list when the layout relies on
+// implied closure (the tidy substrate's whole purpose).
+func TestPipelineOnEndTagFreePage(t *testing.T) {
+	spec := sitegen.SiteSpec{
+		Name: "tagsoup.example", Domain: sitegen.DomainBooks,
+		LayoutName: "row-table", MinItems: 8, MaxItems: 8,
+	}
+	page := spec.Page(0)
+	rng := rand.New(rand.NewSource(1))
+	soup := mutate(3, page.HTML, rng)
+	if strings.Contains(soup, "</tr>") {
+		t.Fatal("mutation left end tags behind")
+	}
+	res, err := New(Options{}).Extract(soup)
+	if err != nil {
+		t.Fatalf("Extract on end-tag-free page: %v", err)
+	}
+	if res.Separator != "tr" {
+		t.Errorf("separator = %q, want tr", res.Separator)
+	}
+	if len(res.Objects) != page.Truth.ObjectCount {
+		t.Errorf("objects = %d, want %d", len(res.Objects), page.Truth.ObjectCount)
+	}
+}
+
+// Deeply nested input must not blow the stack.
+func TestPipelineOnDeepNesting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	const depth = 2000
+	for i := 0; i < depth; i++ {
+		b.WriteString("<div>")
+	}
+	b.WriteString("bottom")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</div>")
+	}
+	b.WriteString("<ul><li>a one</li><li>b two</li><li>c three</li></ul>")
+	b.WriteString("</body></html>")
+	if _, err := New(Options{}).Extract(b.String()); err != nil {
+		// An error is fine; a panic is not (the test harness would catch it).
+		t.Logf("deep nesting refused: %v", err)
+	}
+}
+
+// Pages made of only chrome (no object list) must refuse cleanly, not
+// fabricate objects from the navigation.
+func TestPipelineOnChromeOnlyPage(t *testing.T) {
+	html := `<html><body>
+<table><tr><td><img src="/logo.gif"></td><td><a href="/">Home</a></td></tr></table>
+<p>Welcome to our site. Please use the search box.</p>
+<form action="/search"><input type="text" name="q"></form>
+<p><a href="/about">About</a> - <a href="/contact">Contact</a></p>
+</body></html>`
+	res, err := New(Options{}).Extract(html)
+	if err != nil {
+		return // clean refusal
+	}
+	// If it extracts, confidence must flag the result as dubious.
+	if c := res.Confidence(); c > 0.75 {
+		t.Errorf("chrome-only page extracted with confidence %.3f: %d objects, sep %q",
+			c, len(res.Objects), res.Separator)
+	}
+}

@@ -1,0 +1,88 @@
+package corpus
+
+import (
+	"sync"
+
+	"omini/internal/sitegen"
+)
+
+// SitePages is one site of the corpus together with its generated pages.
+type SitePages struct {
+	// Spec is the site definition.
+	Spec sitegen.SiteSpec
+	// Pages are the site's generated pages with ground truth.
+	Pages []sitegen.Page
+}
+
+// Corpus materializes the three page collections lazily and caches them:
+// generation is deterministic, so caching only saves time. The zero value
+// is ready to use.
+type Corpus struct {
+	onceTest, onceExp, onceCmp sync.Once
+	test, exp, cmp             []SitePages
+
+	// PagesPerSite overrides the default per-site page counts when > 0
+	// (tests use small corpora; benchmarks use the paper-sized ones).
+	PagesPerSite int
+}
+
+func (c *Corpus) pagesFor(defaultCount int) int {
+	if c.PagesPerSite > 0 {
+		return c.PagesPerSite
+	}
+	return defaultCount
+}
+
+// TestSet returns the 15-site test collection (≈500 pages at default size).
+func (c *Corpus) TestSet() []SitePages {
+	c.onceTest.Do(func() {
+		c.test = realize(testSpecs(), c.pagesFor(PagesPerTestSite))
+	})
+	return c.test
+}
+
+// ExperimentalSet returns the 25-site experimental collection (≈1,500 pages
+// at default size).
+func (c *Corpus) ExperimentalSet() []SitePages {
+	c.onceExp.Do(func() {
+		c.exp = realize(experimentalSpecs(), c.pagesFor(PagesPerExperimentalSite))
+	})
+	return c.exp
+}
+
+// ComparisonSet returns the 5-site Table 18 collection.
+func (c *Corpus) ComparisonSet() []SitePages {
+	c.onceCmp.Do(func() {
+		specs := make([]sitegen.SiteSpec, 0, len(comparisonSiteNames))
+		all := append(testSpecs(), experimentalSpecs()...)
+		for _, name := range comparisonSiteNames {
+			for _, s := range all {
+				if s.Name == name {
+					specs = append(specs, s)
+					break
+				}
+			}
+		}
+		c.cmp = realize(specs, c.pagesFor(PagesPerComparisonSite))
+	})
+	return c.cmp
+}
+
+// AllSpecs returns every site definition of both main sets.
+func AllSpecs() []sitegen.SiteSpec {
+	return append(testSpecs(), experimentalSpecs()...)
+}
+
+func realize(specs []sitegen.SiteSpec, pages int) []SitePages {
+	out := make([]SitePages, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec sitegen.SiteSpec) {
+			defer wg.Done()
+			out[i] = SitePages{Spec: spec, Pages: spec.Pages(pages)}
+		}(i, spec)
+	}
+	wg.Wait()
+	return out
+}

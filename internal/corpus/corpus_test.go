@@ -1,0 +1,97 @@
+package corpus
+
+import (
+	"testing"
+
+	"omini/internal/tagtree"
+)
+
+func TestSetSizes(t *testing.T) {
+	c := &Corpus{PagesPerSite: 3}
+	if got := len(c.TestSet()); got != 15 {
+		t.Errorf("test set has %d sites, want 15 (Table 9)", got)
+	}
+	if got := len(c.ExperimentalSet()); got != 25 {
+		t.Errorf("experimental set has %d sites, want 25 (Table 12)", got)
+	}
+	if got := len(c.ComparisonSet()); got != 5 {
+		t.Errorf("comparison set has %d sites, want 5 (Table 18)", got)
+	}
+	for _, sp := range c.TestSet() {
+		if len(sp.Pages) != 3 {
+			t.Errorf("site %s has %d pages, want 3", sp.Spec.Name, len(sp.Pages))
+		}
+	}
+}
+
+func TestDefaultSizesMatchPaper(t *testing.T) {
+	if PagesPerTestSite*15 < 495 {
+		t.Error("test corpus smaller than the paper's 500 pages")
+	}
+	if PagesPerExperimentalSite*25 != 1500 {
+		t.Error("experimental corpus is not 1,500 pages")
+	}
+}
+
+func TestComparisonSitesAreSubset(t *testing.T) {
+	names := make(map[string]bool)
+	for _, s := range AllSpecs() {
+		names[s.Name] = true
+	}
+	c := &Corpus{PagesPerSite: 1}
+	for _, sp := range c.ComparisonSet() {
+		if !names[sp.Spec.Name] {
+			t.Errorf("comparison site %s not in the main sets", sp.Spec.Name)
+		}
+	}
+}
+
+func TestSiteNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range AllSpecs() {
+		if seen[s.Name] {
+			t.Errorf("duplicate site name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestEveryPageHasResolvableTruth(t *testing.T) {
+	c := &Corpus{PagesPerSite: 4}
+	sets := append(c.TestSet(), c.ExperimentalSet()...)
+	for _, sp := range sets {
+		for _, page := range sp.Pages {
+			root, err := tagtree.Parse(page.HTML)
+			if err != nil {
+				t.Fatalf("%s: parse: %v", page.Name, err)
+			}
+			sub := tagtree.FindPath(root, page.Truth.SubtreePath)
+			if sub == nil {
+				t.Errorf("%s: truth path %q unresolvable", page.Name, page.Truth.SubtreePath)
+				continue
+			}
+			if page.Truth.ObjectCount < 2 {
+				t.Errorf("%s: only %d objects", page.Name, page.Truth.ObjectCount)
+			}
+		}
+	}
+}
+
+func TestCorpusCaching(t *testing.T) {
+	c := &Corpus{PagesPerSite: 2}
+	a := c.TestSet()
+	b := c.TestSet()
+	if &a[0] != &b[0] {
+		t.Error("TestSet not cached between calls")
+	}
+}
+
+func TestLayoutDiversity(t *testing.T) {
+	layouts := make(map[string]int)
+	for _, s := range AllSpecs() {
+		layouts[s.LayoutName]++
+	}
+	if len(layouts) < 8 {
+		t.Errorf("only %d layout families used across the corpus: %v", len(layouts), layouts)
+	}
+}

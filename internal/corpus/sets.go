@@ -1,0 +1,347 @@
+// Package corpus defines the evaluation corpus: the synthetic counterparts
+// of the paper's three site collections — the 15-site test set of Table 9
+// (training the combination probabilities), the 25-site experimental set of
+// Table 12 (validation), and the 5-site comparison set of Table 18 (where
+// the BYU heuristics fail) — with page counts patterned on Table 23.
+//
+// Site names mirror the paper's lists under the .example TLD. Each site is
+// assigned a layout family, chrome and noise profile chosen so the corpus
+// exercises the same failure modes the paper reports: navigation menus that
+// defeat the highest-fanout subtree heuristic, in-region sponsor tables
+// that push the IPS heuristic to rank 2, high-count <br> runs that defeat
+// counting heuristics, intro paragraphs that mislead the BYU fixed tag
+// list, and inconsistent item openings that starve the repeating-pattern
+// heuristic.
+package corpus
+
+import (
+	"omini/internal/sitegen"
+)
+
+// PagesPerTestSite and friends size the corpus like the paper's: 500 pages
+// over 15 test sites, 1,500 pages over 25 experimental sites.
+const (
+	PagesPerTestSite         = 33
+	PagesPerExperimentalSite = 60
+	PagesPerComparisonSite   = 40
+)
+
+// testSpecs returns the 15 test sites (Table 9 analogues).
+func testSpecs() []sitegen.SiteSpec {
+	return []sitegen.SiteSpec{
+		{
+			Name: "agents.umbc.example", Domain: sitegen.DomainSearch,
+			LayoutName: "ul-record", MinItems: 5, MaxItems: 18,
+		},
+		{
+			Name: "www.alphabetstreet.example", Domain: sitegen.DomainBooks,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 30},
+			Noise:      sitegen.NoiseSpec{UncloseTags: true},
+			MinItems:   6, MaxItems: 25,
+		},
+		{
+			Name: "www.alphaworks.example", Domain: sitegen.DomainProducts,
+			LayoutName: "dl-record",
+			Chrome:     sitegen.ChromeSpec{SidebarLinks: 18},
+			Noise:      sitegen.NoiseSpec{UpperTags: true, VarySizes: true, HrDecorEvery: 5, CenterDividerEvery: 2},
+			MinItems:   5, MaxItems: 20,
+		},
+		{
+			Name: "www.amazon.example", Domain: sitegen.DomainBooks,
+			LayoutName: "item-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 25, SearchForm: true},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true, AdEvery: 6},
+			MinItems:   8, MaxItems: 25,
+		},
+		{
+			Name: "www.aw.example", Domain: sitegen.DomainBooks,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{FooterLinks: 8},
+			Noise:      sitegen.NoiseSpec{UnquotedAttrs: true},
+			// Pages can return as few as two results: below the IPS/RP
+			// occurrence thresholds, some heuristics decline to answer,
+			// which is what separates precision from recall (Section 6.5).
+			MinItems: 2, MaxItems: 15,
+		},
+		// Comparison site (Table 18): intro paragraphs, heavy break runs,
+		// inconsistent item openings, alternating item sizes.
+		{
+			Name: "www.bookpool.example", Domain: sitegen.DomainBooks,
+			LayoutName: "para-record",
+			Chrome:     sitegen.ChromeSpec{NavLinks: 20},
+			Noise: sitegen.NoiseSpec{
+				HeavyBreaks: true, HeaderStyleP: true, PlainTitles: true,
+				VarySizes: true, InlineHeader: true, CenterDividerEvery: 2,
+			},
+			MinItems: 8, MaxItems: 22,
+		},
+		{
+			Name: "cbc.example", Domain: sitegen.DomainNews,
+			LayoutName: "item-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 35},
+			Noise:      sitegen.NoiseSpec{HeavyBreaks: true},
+			MinItems:   6, MaxItems: 18,
+		},
+		{
+			Name: "www.chapters.example", Domain: sitegen.DomainBooks,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, SidebarLinks: 15, FooterLinks: 6},
+			Noise:      sitegen.NoiseSpec{UncloseTags: true, UnquotedAttrs: true},
+			MinItems:   6, MaxItems: 22,
+		},
+		// Search engines rendered as paragraphs in a bare div with sponsor
+		// tables: the correct separator lands at IPS rank 2.
+		{
+			Name: "www.google.example", Domain: sitegen.DomainSearch,
+			LayoutName: "para-div",
+			Chrome:     sitegen.ChromeSpec{FooterLinks: 5},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true, InlineFooter: true, AdEvery: 3},
+			MinItems:   10, MaxItems: 20,
+		},
+		{
+			Name: "www.hotbot.example", Domain: sitegen.DomainSearch,
+			LayoutName: "para-div",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 40},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true, HeaderStyleP: true, AdEvery: 3},
+			MinItems:   10, MaxItems: 20,
+		},
+		{
+			Name: "www.ibmdeveloper.example", Domain: sitegen.DomainProducts,
+			LayoutName: "dl-record",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 22},
+			Noise:      sitegen.NoiseSpec{VarySizes: true, HrDecorEvery: 4, CenterDividerEvery: 2},
+			MinItems:   5, MaxItems: 16,
+		},
+		{
+			Name: "www.kingbooks.example", Domain: sitegen.DomainBooks,
+			LayoutName: "font-catalog",
+			Chrome:     sitegen.ChromeSpec{Banner: true, SidebarLinks: 12},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true, AdEvery: 5},
+			MinItems:   6, MaxItems: 18,
+		},
+		{
+			Name: "www.loc.example", Domain: sitegen.DomainBooks,
+			LayoutName: "hr-record",
+			Chrome:     sitegen.ChromeSpec{SearchForm: true, FooterLinks: 3},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true, InlineFooter: true},
+			MinItems:   10, MaxItems: 20,
+		},
+		{
+			Name: "www.rubylane.example", Domain: sitegen.DomainAuctions,
+			LayoutName: "div-card",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 18},
+			Noise:      sitegen.NoiseSpec{DoubleBreaks: true, InlineHeader: true, AdEvery: 6},
+			MinItems:   6, MaxItems: 20,
+		},
+		// Comparison site (Table 18).
+		{
+			Name: "www.signpost.example", Domain: sitegen.DomainSearch,
+			LayoutName: "div-card",
+			Chrome:     sitegen.ChromeSpec{NavLinks: 15},
+			Noise: sitegen.NoiseSpec{
+				HeavyBreaks: true, HeaderStyleP: true,
+				InlineHeader: true, InlineFooter: true,
+			},
+			MinItems: 6, MaxItems: 18,
+		},
+	}
+}
+
+// experimentalSpecs returns the 25 experimental sites (Table 12 analogues).
+// The mix leans cleaner than the test set, as the paper's per-heuristic
+// success rates do (Table 13 vs Table 10).
+func experimentalSpecs() []sitegen.SiteSpec {
+	return []sitegen.SiteSpec{
+		{
+			Name: "www.amazon2.example", Domain: sitegen.DomainBooks,
+			LayoutName: "item-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 25, SearchForm: true},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true},
+			MinItems:   8, MaxItems: 25,
+		},
+		{
+			Name: "zshops.amazon.example", Domain: sitegen.DomainProducts,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 20},
+			MinItems:   6, MaxItems: 25,
+		},
+		{
+			Name: "www.bn.example", Domain: sitegen.DomainBooks,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, SidebarLinks: 14},
+			Noise:      sitegen.NoiseSpec{UncloseTags: true},
+			MinItems:   8, MaxItems: 25,
+		},
+		{
+			Name: "www.bookbuyer.example", Domain: sitegen.DomainBooks,
+			LayoutName: "dl-record",
+			Chrome:     sitegen.ChromeSpec{FooterLinks: 6},
+			// Small result pages (see www.aw.example).
+			MinItems: 2, MaxItems: 20,
+		},
+		{
+			Name: "www.borders.example", Domain: sitegen.DomainBooks,
+			LayoutName: "item-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 18},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true, UncloseTags: true},
+			MinItems:   6, MaxItems: 20,
+		},
+		{
+			Name: "www.canoe.example", Domain: sitegen.DomainNews,
+			LayoutName: "item-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 20, SearchForm: true},
+			MinItems:   8, MaxItems: 15,
+		},
+		{
+			Name: "www.codysbooks.example", Domain: sitegen.DomainBooks,
+			LayoutName: "ul-record",
+			Chrome:     sitegen.ChromeSpec{Banner: true},
+			Noise:      sitegen.NoiseSpec{HrDecorEvery: 5},
+			MinItems:   5, MaxItems: 20,
+		},
+		// Comparison site (Table 18).
+		{
+			Name: "www.ebay.example", Domain: sitegen.DomainAuctions,
+			LayoutName: "item-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 28},
+			Noise: sitegen.NoiseSpec{
+				HeavyBreaks: true, HeaderStyleP: true, VarySizes: true,
+				InlineHeader: true, AdEvery: 4, CenterDividerEvery: 2,
+			},
+			MinItems: 8, MaxItems: 25,
+		},
+		{
+			Name: "www.etoys.example", Domain: sitegen.DomainProducts,
+			LayoutName: "div-card",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 16},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true},
+			MinItems:   6, MaxItems: 18,
+		},
+		{
+			Name: "www.excite.example", Domain: sitegen.DomainSearch,
+			LayoutName: "para-record",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 30},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true, InlineFooter: true},
+			MinItems:   10, MaxItems: 20,
+		},
+		{
+			Name: "www.fatbrain.example", Domain: sitegen.DomainBooks,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{SearchForm: true},
+			MinItems:   5, MaxItems: 22,
+		},
+		{
+			Name: "www.gamecenter.example", Domain: sitegen.DomainProducts,
+			LayoutName: "item-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 24},
+			Noise:      sitegen.NoiseSpec{InterItemBreaks: true},
+			MinItems:   5, MaxItems: 15,
+		},
+		{
+			Name: "www.gamelan.example", Domain: sitegen.DomainProducts,
+			LayoutName: "ul-record",
+			Chrome:     sitegen.ChromeSpec{SidebarLinks: 12},
+			Noise:      sitegen.NoiseSpec{UncloseTags: true, HrDecorEvery: 6},
+			MinItems:   6, MaxItems: 20,
+		},
+		// Comparison site (Table 18).
+		{
+			Name: "www.goto.example", Domain: sitegen.DomainSearch,
+			LayoutName: "div-card",
+			Chrome:     sitegen.ChromeSpec{NavLinks: 12},
+			Noise: sitegen.NoiseSpec{
+				HeavyBreaks: true, HeaderStyleP: true, PlainTitles: true,
+				VarySizes: true, InlineHeader: true, CenterDividerEvery: 2,
+			},
+			MinItems: 8, MaxItems: 20,
+		},
+		{
+			Name: "www.ibm.example", Domain: sitegen.DomainProducts,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 26, FooterLinks: 10},
+			MinItems:   5, MaxItems: 18,
+		},
+		{
+			Name: "xml.ibm.example", Domain: sitegen.DomainProducts,
+			LayoutName: "dl-record",
+			Chrome:     sitegen.ChromeSpec{Banner: true, SidebarLinks: 16},
+			Noise:      sitegen.NoiseSpec{UpperTags: true},
+			MinItems:   5, MaxItems: 16,
+		},
+		{
+			Name: "auctions.msn.example", Domain: sitegen.DomainAuctions,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 22},
+			Noise:      sitegen.NoiseSpec{UncloseTags: true, UnquotedAttrs: true},
+			MinItems:   8, MaxItems: 25,
+		},
+		// Comparison site (Table 18).
+		{
+			Name: "www.powells.example", Domain: sitegen.DomainBooks,
+			LayoutName: "ul-record",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 14},
+			Noise: sitegen.NoiseSpec{
+				HeavyBreaks: true, HeaderStyleP: true, InlineHeader: true,
+			},
+			MinItems: 6, MaxItems: 22,
+		},
+		{
+			Name: "www.quote.example", Domain: sitegen.DomainQuotes,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{SearchForm: true},
+			MinItems:   8, MaxItems: 30,
+		},
+		{
+			Name: "www.thestar.example", Domain: sitegen.DomainNews,
+			LayoutName: "hr-record",
+			Chrome:     sitegen.ChromeSpec{Banner: true, FooterLinks: 4},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true},
+			MinItems:   6, MaxItems: 16,
+		},
+		{
+			Name: "www.vancouversun.example", Domain: sitegen.DomainNews,
+			LayoutName: "item-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 20},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true},
+			MinItems:   5, MaxItems: 15,
+		},
+		{
+			Name: "www.vnunet.example", Domain: sitegen.DomainNews,
+			LayoutName: "para-div",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 18},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true, AdEvery: 5},
+			MinItems:   8, MaxItems: 18,
+		},
+		{
+			Name: "www.wine.example", Domain: sitegen.DomainProducts,
+			LayoutName: "font-catalog",
+			Chrome:     sitegen.ChromeSpec{Banner: true, SidebarLinks: 10},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true},
+			MinItems:   5, MaxItems: 15,
+		},
+		{
+			Name: "www.yahoo.example", Domain: sitegen.DomainSearch,
+			LayoutName: "ul-record",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 32},
+			Noise:      sitegen.NoiseSpec{InlineHeader: true},
+			MinItems:   10, MaxItems: 20,
+		},
+		{
+			Name: "auctions.yahoo.example", Domain: sitegen.DomainAuctions,
+			LayoutName: "row-table",
+			Chrome:     sitegen.ChromeSpec{Banner: true, NavLinks: 24},
+			MinItems:   8, MaxItems: 28,
+		},
+	}
+}
+
+// comparisonSiteNames are the five Table 18 analogues, drawn from the two
+// sets above.
+var comparisonSiteNames = []string{
+	"www.bookpool.example",
+	"www.ebay.example",
+	"www.goto.example",
+	"www.powells.example",
+	"www.signpost.example",
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"omini/internal/core"
+	"omini/internal/corpus"
+)
+
+// Confidence calibration: validating the self-evaluation hook (the paper's
+// feedback-based-refinement direction) against ground truth. A useful
+// confidence score must be monotone with actual correctness — high-scored
+// extractions right far more often than low-scored ones — so an
+// aggregation service can gate on it.
+
+// ConfidenceBucket is one row of the calibration table.
+type ConfidenceBucket struct {
+	// Lo and Hi bound the bucket's confidence range [Lo, Hi).
+	Lo, Hi float64
+	// Pages is the number of extractions whose confidence fell in range.
+	Pages int
+	// Accuracy is the fraction of those whose chosen separator was
+	// correct.
+	Accuracy float64
+}
+
+// ConfidenceCalibration runs the full pipeline over the collection and
+// buckets extractions by reported confidence, measuring separator accuracy
+// within each bucket. Pages that fail to extract at all are counted in the
+// lowest bucket with zero accuracy (the score's "do not trust" region).
+func ConfidenceCalibration(sites []corpus.SitePages, edges []float64) []ConfidenceBucket {
+	if len(edges) < 2 {
+		edges = []float64{0, 0.5, 0.75, 0.9, 1.01}
+	}
+	buckets := make([]ConfidenceBucket, len(edges)-1)
+	correct := make([]int, len(buckets))
+	for i := range buckets {
+		buckets[i].Lo = edges[i]
+		buckets[i].Hi = edges[i+1]
+	}
+	place := func(c float64) int {
+		for i := range buckets {
+			if c >= buckets[i].Lo && c < buckets[i].Hi {
+				return i
+			}
+		}
+		return len(buckets) - 1
+	}
+	extractor := core.New(core.Options{})
+	for _, sp := range sites {
+		for _, page := range sp.Pages {
+			res, err := extractor.Extract(page.HTML)
+			if err != nil {
+				buckets[0].Pages++
+				continue
+			}
+			i := place(res.Confidence())
+			buckets[i].Pages++
+			if page.Truth.CorrectSeparator(res.Separator) {
+				correct[i]++
+			}
+		}
+	}
+	for i := range buckets {
+		if buckets[i].Pages > 0 {
+			buckets[i].Accuracy = float64(correct[i]) / float64(buckets[i].Pages)
+		}
+	}
+	return buckets
+}

@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"omini/internal/core"
+	"omini/internal/corpus"
+	"omini/internal/fetch"
+	"omini/internal/rules"
+)
+
+// TimingRow is one row of Table 16 or 17: mean per-phase extraction cost in
+// milliseconds over a page collection.
+type TimingRow struct {
+	Label     string
+	ReadFile  float64
+	Parse     float64
+	Subtree   float64
+	Separator float64
+	Combine   float64
+	Construct float64
+	Total     float64
+	Pages     int
+}
+
+// add accumulates one page's timing (already averaged over repeats).
+func (r *TimingRow) add(read time.Duration, t core.Timing) {
+	const ms = float64(time.Millisecond)
+	r.ReadFile += float64(read) / ms
+	r.Parse += float64(t.Parse) / ms
+	r.Subtree += float64(t.Subtree) / ms
+	r.Separator += float64(t.Separator) / ms
+	r.Combine += float64(t.Combine) / ms
+	r.Construct += float64(t.Construct) / ms
+	r.Total += float64(read+t.Parse+t.Subtree+t.Separator+t.Combine+t.Construct) / ms
+	r.Pages++
+}
+
+// finish converts sums to means.
+func (r *TimingRow) finish() {
+	if r.Pages == 0 {
+		return
+	}
+	n := float64(r.Pages)
+	r.ReadFile /= n
+	r.Parse /= n
+	r.Subtree /= n
+	r.Separator /= n
+	r.Combine /= n
+	r.Construct /= n
+	r.Total /= n
+}
+
+// TimingOptions configure a timing measurement.
+type TimingOptions struct {
+	// Repeats runs each page this many times and averages, as the paper
+	// did ("for each web page the algorithms were run ten times").
+	// Default 1.
+	Repeats int
+	// UseRules measures the cached-rule fast path of Table 17: a rule is
+	// learned from each site's first page and replayed on the rest.
+	UseRules bool
+}
+
+// MeasureTiming serves the collection over a loopback HTTP server, fetches
+// and extracts every page, and returns the mean per-phase cost — the
+// methodology behind Tables 16 and 17.
+func MeasureTiming(label string, sites []corpus.SitePages, opts TimingOptions) (TimingRow, error) {
+	repeats := opts.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	srv := fetch.NewCorpusServer()
+	for _, sp := range sites {
+		srv.Add(sp.Pages...)
+	}
+	if err := srv.Start(); err != nil {
+		return TimingRow{}, err
+	}
+	defer srv.Close()
+
+	var (
+		f         fetch.Fetcher
+		extractor = core.New(core.Options{})
+		row       = TimingRow{Label: label}
+		ctx       = context.Background()
+	)
+	for _, sp := range sites {
+		var rule rules.Rule
+		if opts.UseRules && len(sp.Pages) > 0 {
+			body, err := f.Fetch(ctx, srv.URL(sp.Pages[0]))
+			if err != nil {
+				return row, fmt.Errorf("eval: fetch rule page: %w", err)
+			}
+			res, err := extractor.Extract(body)
+			if err != nil {
+				return row, fmt.Errorf("eval: learn rule for %s: %w", sp.Spec.Name, err)
+			}
+			rule = res.Rule(sp.Spec.Name)
+		}
+		for _, page := range sp.Pages {
+			var (
+				readSum time.Duration
+				sum     core.Timing
+			)
+			for rep := 0; rep < repeats; rep++ {
+				start := time.Now()
+				body, err := f.Fetch(ctx, srv.URL(page))
+				readSum += time.Since(start)
+				if err != nil {
+					return row, fmt.Errorf("eval: fetch %s: %w", page.Name, err)
+				}
+				var res *core.Result
+				if opts.UseRules {
+					res, err = extractor.ExtractWithRule(body, rule)
+				} else {
+					res, err = extractor.Extract(body)
+				}
+				if err != nil {
+					return row, fmt.Errorf("eval: extract %s: %w", page.Name, err)
+				}
+				sum = addTiming(sum, res.Timing)
+			}
+			row.add(readSum/time.Duration(repeats), divTiming(sum, repeats))
+		}
+	}
+	row.finish()
+	return row, nil
+}
+
+func addTiming(a, b core.Timing) core.Timing {
+	a.Parse += b.Parse
+	a.Subtree += b.Subtree
+	a.Separator += b.Separator
+	a.Combine += b.Combine
+	a.Construct += b.Construct
+	return a
+}
+
+func divTiming(t core.Timing, n int) core.Timing {
+	d := time.Duration(n)
+	t.Parse /= d
+	t.Subtree /= d
+	t.Separator /= d
+	t.Combine /= d
+	t.Construct /= d
+	return t
+}
+
+// CombineRows merges timing rows into their weighted combined row, matching
+// the "Combined" line of Tables 16/17.
+func CombineRows(label string, rows ...TimingRow) TimingRow {
+	var out TimingRow
+	out.Label = label
+	for _, r := range rows {
+		n := float64(r.Pages)
+		out.ReadFile += r.ReadFile * n
+		out.Parse += r.Parse * n
+		out.Subtree += r.Subtree * n
+		out.Separator += r.Separator * n
+		out.Combine += r.Combine * n
+		out.Construct += r.Construct * n
+		out.Total += r.Total * n
+		out.Pages += r.Pages
+	}
+	out.finish()
+	return out
+}

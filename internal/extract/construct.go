@@ -1,0 +1,122 @@
+// Package extract implements Phase 3 of the Omini pipeline: candidate
+// object construction — partitioning the object-rich subtree at the chosen
+// separator tag — and object extraction refinement, which removes candidates
+// that do not structurally conform to the majority of objects (list headers,
+// footers, stray chrome).
+package extract
+
+import (
+	"strings"
+
+	"omini/internal/tagtree"
+)
+
+// Object is one extracted data object: a run of sibling nodes from the
+// object-rich subtree.
+type Object struct {
+	// Nodes are the top-level sibling nodes making up the object, in
+	// document order.
+	Nodes []*tagtree.Node
+}
+
+// Text returns the object's visible text, with node texts joined by single
+// spaces.
+func (o Object) Text() string {
+	parts := make([]string, 0, len(o.Nodes))
+	for _, n := range o.Nodes {
+		if t := strings.TrimSpace(n.InnerText()); t != "" {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Size returns the content size of the object in bytes.
+func (o Object) Size() int {
+	total := 0
+	for _, n := range o.Nodes {
+		total += n.NodeSize()
+	}
+	return total
+}
+
+// TagSet returns the set of tag names appearing anywhere in the object,
+// the structural signature refinement compares.
+func (o Object) TagSet() map[string]bool {
+	set := make(map[string]bool)
+	for _, n := range o.Nodes {
+		n.Walk(func(v *tagtree.Node) bool {
+			if !v.IsContent() {
+				set[v.Tag] = true
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// dividerContentFraction is the share of the region's content below which
+// separator occurrences are treated as empty markers rather than object
+// parts. A true divider (<hr>, <br>) carries no content at all; the margin
+// tolerates stray whitespace.
+const dividerContentFraction = 0.05
+
+// Construct builds candidate objects by partitioning the children of the
+// subtree at occurrences of the separator tag (Section 3, Phase 3). The
+// separator may play either of the roles the paper observes ("sometimes
+// the separator tag sits between objects, and other times it is the root
+// of the object or a part of the object"):
+//
+//   - Divider: when the separator occurrences are (near-)empty markers
+//     (<hr> between Library of Congress records), objects are the runs of
+//     siblings between consecutive separators, and the markers belong to
+//     no object.
+//   - Object opener: when the separator occurrences carry content (the
+//     <table> that *is* a canoe.com news item, the <dt> that opens each
+//     definition-list record), each occurrence starts an object that
+//     extends — including following non-separator siblings such as the
+//     record's <dd> — until the next occurrence.
+//
+// Content before the first separator is emitted as a candidate object too
+// (a list header, typically) — Refine is responsible for dropping it.
+func Construct(sub *tagtree.Node, sepTag string) []Object {
+	if sub == nil || sepTag == "" {
+		return nil
+	}
+	sepContent := 0
+	sepCount := 0
+	for _, c := range sub.Children {
+		if !c.IsContent() && c.Tag == sepTag {
+			sepContent += c.NodeSize()
+			sepCount++
+		}
+	}
+	if sepCount == 0 {
+		return nil
+	}
+	divider := float64(sepContent) < dividerContentFraction*float64(sub.NodeSize())
+
+	var (
+		objects []Object
+		current []*tagtree.Node
+	)
+	flush := func() {
+		if len(current) > 0 {
+			objects = append(objects, Object{Nodes: current})
+			current = nil
+		}
+	}
+	for _, c := range sub.Children {
+		isSep := !c.IsContent() && c.Tag == sepTag
+		if isSep {
+			flush()
+			if !divider {
+				current = append(current, c)
+			}
+			continue
+		}
+		current = append(current, c)
+	}
+	flush()
+	return objects
+}

@@ -1,0 +1,124 @@
+package extract
+
+import (
+	"sort"
+)
+
+// RefineOptions tune the object extraction refinement step. The zero value
+// selects the defaults described below.
+type RefineOptions struct {
+	// MinCommonTagFraction is the fraction of the majority tag signature an
+	// object must exhibit to survive (default 2/3): "an object that is
+	// missing a common set of tags" is removed.
+	MinCommonTagFraction float64
+	// MaxUniqueTags is the number of tags an object may carry that appear
+	// in fewer than half of the objects (default 4): "an object that has
+	// too many unique tags" is removed. The default tolerates one embedded
+	// sponsor block (table/tr/td/img) swept into an object during
+	// construction without dropping the object.
+	MaxUniqueTags int
+	// MinSizeRatio and MaxSizeRatio bound object content size relative to
+	// the median object (defaults 0.1 and 10): "if the object is too small
+	// or too large it will be removed as well".
+	MinSizeRatio float64
+	MaxSizeRatio float64
+}
+
+func (o RefineOptions) withDefaults() RefineOptions {
+	if o.MinCommonTagFraction == 0 {
+		o.MinCommonTagFraction = 2.0 / 3
+	}
+	if o.MaxUniqueTags == 0 {
+		o.MaxUniqueTags = 4
+	}
+	if o.MinSizeRatio == 0 {
+		o.MinSizeRatio = 0.1
+	}
+	if o.MaxSizeRatio == 0 {
+		o.MaxSizeRatio = 10
+	}
+	return o
+}
+
+// Refine removes candidate objects that do not conform to the structure of
+// the majority of objects (Phase 3's Object Extraction Refinement): list
+// headers and footers swept up by construction, chrome blocks, and
+// candidates far smaller or larger than a typical object. With fewer than
+// three candidates there is no meaningful majority and the input is
+// returned unchanged.
+func Refine(objects []Object, opts RefineOptions) []Object {
+	if len(objects) < 3 {
+		return objects
+	}
+	opts = opts.withDefaults()
+
+	// Tag frequency across objects defines the majority structure: tags in
+	// at least half of the objects are "common"; tags in fewer than half
+	// are "unique" to their carriers.
+	freq := make(map[string]int)
+	tagSets := make([]map[string]bool, len(objects))
+	for i, o := range objects {
+		tagSets[i] = o.TagSet()
+		for tag := range tagSets[i] {
+			freq[tag]++
+		}
+	}
+	half := (len(objects) + 1) / 2
+	var commonTags []string
+	for tag, n := range freq {
+		if n >= half {
+			commonTags = append(commonTags, tag)
+		}
+	}
+
+	median := medianSize(objects)
+
+	out := make([]Object, 0, len(objects))
+	for i, o := range objects {
+		if len(commonTags) > 0 {
+			have := 0
+			for _, tag := range commonTags {
+				if tagSets[i][tag] {
+					have++
+				}
+			}
+			if float64(have) < opts.MinCommonTagFraction*float64(len(commonTags)) {
+				continue // missing the common structure
+			}
+		}
+		unique := 0
+		for tag := range tagSets[i] {
+			if freq[tag] < half {
+				unique++
+			}
+		}
+		if unique > opts.MaxUniqueTags {
+			continue // too much structure of its own
+		}
+		if median > 0 {
+			size := float64(o.Size())
+			if size < opts.MinSizeRatio*median || size > opts.MaxSizeRatio*median {
+				continue // far from the typical object size
+			}
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// medianSize returns the median content size of the objects.
+func medianSize(objects []Object) float64 {
+	sizes := make([]int, len(objects))
+	for i, o := range objects {
+		sizes[i] = o.Size()
+	}
+	sort.Ints(sizes)
+	n := len(sizes)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return float64(sizes[n/2])
+	}
+	return float64(sizes[n/2-1]+sizes[n/2]) / 2
+}

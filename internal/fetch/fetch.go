@@ -1,0 +1,98 @@
+// Package fetch implements Phase 1's page acquisition: fetching pages over
+// HTTP, caching them on disk, and serving the synthetic corpus from a local
+// HTTP server — the stand-in for the paper's practice of downloading 2,000+
+// pages and running every experiment against the local copies ("so as not
+// to overload web sites and to be able to obtain consistent results").
+package fetch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Fetcher retrieves pages over HTTP with an optional on-disk cache.
+type Fetcher struct {
+	// Client is the HTTP client; http.DefaultClient when nil.
+	Client *http.Client
+	// CacheDir enables the page cache when non-empty: every fetched URL is
+	// stored under CacheDir and served from disk on repeat fetches.
+	CacheDir string
+	// MaxBytes caps the page size read (default 8 MiB).
+	MaxBytes int64
+}
+
+// defaultMaxBytes bounds page reads; result pages of the era are far
+// smaller.
+const defaultMaxBytes = 8 << 20
+
+// Fetch returns the page body for the URL, reading through the cache when
+// one is configured.
+func (f *Fetcher) Fetch(ctx context.Context, url string) (string, error) {
+	if f.CacheDir != "" {
+		if body, err := os.ReadFile(f.cachePath(url)); err == nil {
+			return string(body), nil
+		}
+	}
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", fmt.Errorf("fetch: build request %s: %w", url, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("fetch: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("fetch: get %s: status %s", url, resp.Status)
+	}
+	limit := f.MaxBytes
+	if limit <= 0 {
+		limit = defaultMaxBytes
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return "", fmt.Errorf("fetch: read %s: %w", url, err)
+	}
+	if f.CacheDir != "" {
+		if err := f.store(url, body); err != nil {
+			return "", err
+		}
+	}
+	return string(body), nil
+}
+
+// store writes a page into the cache.
+func (f *Fetcher) store(url string, body []byte) error {
+	path := f.cachePath(url)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("fetch: cache dir: %w", err)
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		return fmt.Errorf("fetch: cache write: %w", err)
+	}
+	return nil
+}
+
+// cachePath maps a URL to a cache file path.
+func (f *Fetcher) cachePath(url string) string {
+	name := strings.NewReplacer("://", "_", "/", "_", "?", "_", "&", "_", ":", "_").Replace(url)
+	if len(name) > 200 {
+		name = name[:200]
+	}
+	return filepath.Join(f.CacheDir, name+".html")
+}
+
+// WithTimeout returns a derived context with the usual page-fetch deadline.
+func WithTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, 30*time.Second)
+}

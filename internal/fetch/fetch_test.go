@@ -1,0 +1,142 @@
+package fetch
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"omini/internal/sitegen"
+)
+
+func TestFetchBasic(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = w.Write([]byte("<html><body>hi</body></html>"))
+	}))
+	defer ts.Close()
+
+	var f Fetcher
+	body, err := f.Fetch(context.Background(), ts.URL+"/page")
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if !strings.Contains(body, "hi") {
+		t.Errorf("body = %q", body)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("hits = %d", hits.Load())
+	}
+}
+
+func TestFetchCache(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = w.Write([]byte("cached content"))
+	}))
+	defer ts.Close()
+
+	f := Fetcher{CacheDir: t.TempDir()}
+	for i := 0; i < 3; i++ {
+		body, err := f.Fetch(context.Background(), ts.URL+"/a?b=1&c=2")
+		if err != nil {
+			t.Fatalf("Fetch %d: %v", i, err)
+		}
+		if body != "cached content" {
+			t.Errorf("body = %q", body)
+		}
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server hit %d times, want 1 (cache)", hits.Load())
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	var f Fetcher
+	if _, err := f.Fetch(context.Background(), ts.URL+"/missing"); err == nil {
+		t.Error("404 fetch succeeded")
+	}
+	if _, err := f.Fetch(context.Background(), "http://127.0.0.1:1/nope"); err == nil {
+		t.Error("unreachable fetch succeeded")
+	}
+	if _, err := f.Fetch(context.Background(), "::bad-url::"); err == nil {
+		t.Error("bad URL accepted")
+	}
+}
+
+func TestFetchRespectsMaxBytes(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(strings.Repeat("x", 1000)))
+	}))
+	defer ts.Close()
+	f := Fetcher{MaxBytes: 100}
+	body, err := f.Fetch(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 100 {
+		t.Errorf("body length = %d, want 100", len(body))
+	}
+}
+
+func TestCorpusServerRoundTrip(t *testing.T) {
+	srv := NewCorpusServer()
+	loc := sitegen.LOC()
+	canoe := sitegen.Canoe()
+	srv.Add(loc, canoe)
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	if got := len(srv.Paths()); got != 2 {
+		t.Fatalf("paths = %d", got)
+	}
+	var f Fetcher
+	body, err := f.Fetch(context.Background(), srv.URL(loc))
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if body != loc.HTML {
+		t.Error("served page differs from generated page")
+	}
+	if _, err := f.Fetch(context.Background(), srv.BaseURL()+"/no/such"); err == nil {
+		t.Error("missing corpus page served")
+	}
+}
+
+func TestCorpusServerCloseIdempotent(t *testing.T) {
+	srv := NewCorpusServer()
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close before Start: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestSiteOf(t *testing.T) {
+	tests := []struct{ give, want string }{
+		{"/www.loc.example/loc-page-001", "www.loc.example"},
+		{"www.loc.example/page", "www.loc.example"},
+		{"/bare", "bare"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := SiteOf(tt.give); got != tt.want {
+			t.Errorf("SiteOf(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package fetch
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"omini/internal/sitegen"
+)
+
+// CorpusServer serves generated corpus pages over real HTTP on a loopback
+// listener, so the end-to-end experiments include genuine network reads —
+// the "Read File" phase of Tables 16 and 17.
+type CorpusServer struct {
+	mu    sync.RWMutex
+	pages map[string]sitegen.Page // keyed by /site/name path
+
+	server   *http.Server
+	listener net.Listener
+}
+
+// NewCorpusServer returns an empty server; add pages, then Start it.
+func NewCorpusServer() *CorpusServer {
+	return &CorpusServer{pages: make(map[string]sitegen.Page)}
+}
+
+// Add registers pages to be served. Safe to call before or after Start.
+func (s *CorpusServer) Add(pages ...sitegen.Page) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range pages {
+		s.pages[pagePath(p)] = p
+	}
+}
+
+// pagePath is the URL path a page is served under.
+func pagePath(p sitegen.Page) string {
+	return "/" + p.Site + "/" + p.Name
+}
+
+// URL returns the full URL for a page once the server is started.
+func (s *CorpusServer) URL(p sitegen.Page) string {
+	return s.BaseURL() + pagePath(p)
+}
+
+// BaseURL returns the server's root URL ("" before Start).
+func (s *CorpusServer) BaseURL() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.listener == nil {
+		return ""
+	}
+	return "http://" + s.listener.Addr().String()
+}
+
+// Paths returns the registered page paths in sorted order.
+func (s *CorpusServer) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	paths := make([]string, 0, len(s.pages))
+	for p := range s.pages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Start binds a loopback listener and serves pages until Close.
+func (s *CorpusServer) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("fetch: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	srv := &http.Server{Handler: mux}
+
+	s.mu.Lock()
+	s.listener = ln
+	s.server = srv
+	s.mu.Unlock()
+
+	go func() {
+		// Serve returns ErrServerClosed on Close; nothing to do either way.
+		_ = srv.Serve(ln)
+	}()
+	return nil
+}
+
+func (s *CorpusServer) handle(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	page, ok := s.pages[r.URL.Path]
+	s.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, page.HTML)
+}
+
+// Close shuts the server down and releases the listener.
+func (s *CorpusServer) Close() error {
+	s.mu.Lock()
+	srv := s.server
+	s.server = nil
+	s.listener = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// SiteOf extracts the site component from a corpus URL path, for rule-store
+// keying.
+func SiteOf(urlPath string) string {
+	trimmed := strings.TrimPrefix(urlPath, "/")
+	if i := strings.IndexByte(trimmed, '/'); i >= 0 {
+		return trimmed[:i]
+	}
+	return trimmed
+}

@@ -1,0 +1,193 @@
+package htmlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// entities maps the named character references that appear in practice on
+// the result pages the paper studies. A full HTML5 entity table is not
+// needed: unknown entities pass through verbatim, which matches how the
+// 2000-era browsers (and HTML Tidy) treated them.
+var entities = map[string]rune{
+	"amp":    '&',
+	"lt":     '<',
+	"gt":     '>',
+	"quot":   '"',
+	"apos":   '\'',
+	"nbsp":   '\x20', // plain space: nodeSize counts bytes of visible content
+	"copy":   '©',
+	"reg":    '®',
+	"trade":  '™',
+	"mdash":  '—',
+	"ndash":  '–',
+	"hellip": '…',
+	"lsquo":  '‘',
+	"rsquo":  '’',
+	"ldquo":  '“',
+	"rdquo":  '”',
+	"middot": '·',
+	"bull":   '•',
+	"laquo":  '«',
+	"raquo":  '»',
+	"cent":   '¢',
+	"pound":  '£',
+	"yen":    '¥',
+	"euro":   '€',
+	"sect":   '§',
+	"deg":    '°',
+	"frac12": '½',
+	"frac14": '¼',
+	"times":  '×',
+	"divide": '÷',
+	"eacute": 'é',
+	"egrave": 'è',
+	"agrave": 'à',
+	"ccedil": 'ç',
+	"uuml":   'ü',
+	"ouml":   'ö',
+	"auml":   'ä',
+	"ntilde": 'ñ',
+}
+
+// UnescapeText decodes character references (&amp;, &#65;, &#x41;) in s.
+// Malformed references are left untouched so that no input byte is ever
+// lost — the paper's well-formedness rules (Section 2.1) require only that
+// *remaining* angle brackets in text be encoded, which EscapeText restores.
+func UnescapeText(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for {
+		b.WriteString(s[:amp])
+		s = s[amp:]
+		r, n := decodeEntity(s)
+		if n == 0 {
+			// Not a recognizable reference; emit the ampersand verbatim.
+			b.WriteByte('&')
+			s = s[1:]
+		} else {
+			b.WriteRune(r)
+			s = s[n:]
+		}
+		amp = strings.IndexByte(s, '&')
+		if amp < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+	}
+}
+
+// decodeEntity decodes one character reference at the start of s, which must
+// begin with '&'. It returns the decoded rune and the number of input bytes
+// consumed, or (0, 0) if s does not start with a valid reference.
+func decodeEntity(s string) (rune, int) {
+	if len(s) < 3 || s[0] != '&' {
+		return 0, 0
+	}
+	// Numeric reference: &#123; or &#x7B;.
+	if s[1] == '#' {
+		i := 2
+		base := 10
+		if i < len(s) && (s[i] == 'x' || s[i] == 'X') {
+			base = 16
+			i++
+		}
+		start := i
+		for i < len(s) && isDigitInBase(s[i], base) {
+			i++
+		}
+		if i == start {
+			return 0, 0
+		}
+		v, err := strconv.ParseInt(s[start:i], base, 32)
+		if err != nil || v <= 0 || v > 0x10FFFF {
+			return 0, 0
+		}
+		if i < len(s) && s[i] == ';' {
+			i++
+		}
+		return rune(v), i
+	}
+	// Named reference: &name; (the semicolon is required for named refs to
+	// avoid eating things like "R&D" or query strings "a=1&b=2").
+	semi := strings.IndexByte(s[:min(len(s), 12)], ';')
+	if semi < 2 {
+		return 0, 0
+	}
+	if r, ok := entities[s[1:semi]]; ok {
+		return r, semi + 1
+	}
+	return 0, 0
+}
+
+func isDigitInBase(c byte, base int) bool {
+	switch {
+	case c >= '0' && c <= '9':
+		return true
+	case base == 16 && c >= 'a' && c <= 'f':
+		return true
+	case base == 16 && c >= 'A' && c <= 'F':
+		return true
+	default:
+		return false
+	}
+}
+
+// EscapeText encodes the characters that may not appear literally in
+// well-formed text content: '&', '<' and '>'.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr encodes the characters that may not appear literally inside a
+// double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `&<>"`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package htmlparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnescapeText(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		want string
+	}{
+		{"no entities", "plain text", "plain text"},
+		{"amp", "R&amp;D", "R&D"},
+		{"lt gt", "&lt;b&gt;", "<b>"},
+		{"quot", "&quot;hi&quot;", `"hi"`},
+		{"nbsp", "a&nbsp;b", "a b"},
+		{"decimal", "&#65;&#66;", "AB"},
+		{"hex lower", "&#x41;", "A"},
+		{"hex upper", "&#X42;", "B"},
+		{"unknown named", "&bogus;", "&bogus;"},
+		{"bare ampersand", "a & b", "a & b"},
+		{"query string", "a=1&b=2", "a=1&b=2"},
+		{"trailing ampersand", "end&", "end&"},
+		{"copyright", "&copy; 2000", "© 2000"},
+		{"mixed", "&lt;a&gt; &amp; &#99;", "<a> & c"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := UnescapeText(tt.give); got != tt.want {
+				t.Errorf("UnescapeText(%q) = %q, want %q", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEscapeText(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{"plain", "plain"},
+		{"a < b", "a &lt; b"},
+		{"a > b", "a &gt; b"},
+		{"R&D", "R&amp;D"},
+		{`"x"`, `"x"`}, // quotes are legal in text
+	}
+	for _, tt := range tests {
+		if got := EscapeText(tt.give); got != tt.want {
+			t.Errorf("EscapeText(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestEscapeAttr(t *testing.T) {
+	if got := EscapeAttr(`a "quoted" & <b>`); got != `a &quot;quoted&quot; &amp; &lt;b&gt;` {
+		t.Errorf("EscapeAttr = %q", got)
+	}
+}
+
+// Property: escape-then-unescape is the identity on text content.
+func TestEscapeUnescapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return UnescapeText(EscapeText(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unescaping never lengthens the string by more than the input
+// (entities only shrink or keep length) and never panics.
+func TestUnescapeNeverGrows(t *testing.T) {
+	f := func(s string) bool {
+		return len(UnescapeText(s)) <= len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package htmlparse implements a from-scratch HTML tokenizer sufficient for
+// the Omini object extraction pipeline.
+//
+// The tokenizer is deliberately forgiving: real web pages of the era the
+// paper studies (and of today) are rarely well formed, so the lexer accepts
+// unquoted attributes, bare ampersands, stray angle brackets in text, and
+// case-insensitive tag names. Producing a *well-formed* document from the
+// token stream is the job of package tidy; building the tag tree of the
+// paper's Section 2.2 is the job of package tagtree.
+package htmlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenType identifies the kind of a lexed token.
+type TokenType int
+
+// Token types produced by the Lexer.
+const (
+	// TextToken is character data between tags.
+	TextToken TokenType = iota + 1
+	// StartTagToken is an opening tag such as <table border="1">.
+	StartTagToken
+	// EndTagToken is a closing tag such as </table>.
+	EndTagToken
+	// SelfClosingTagToken is an XML-style self-closed tag such as <br/>.
+	SelfClosingTagToken
+	// CommentToken is an HTML comment <!-- ... -->.
+	CommentToken
+	// DoctypeToken is a document type declaration <!DOCTYPE html>.
+	DoctypeToken
+	// ProcInstToken is a processing instruction such as <?xml ... ?>.
+	ProcInstToken
+)
+
+// String returns a human-readable name for the token type.
+func (t TokenType) String() string {
+	switch t {
+	case TextToken:
+		return "text"
+	case StartTagToken:
+		return "start-tag"
+	case EndTagToken:
+		return "end-tag"
+	case SelfClosingTagToken:
+		return "self-closing-tag"
+	case CommentToken:
+		return "comment"
+	case DoctypeToken:
+		return "doctype"
+	case ProcInstToken:
+		return "proc-inst"
+	default:
+		return fmt.Sprintf("TokenType(%d)", int(t))
+	}
+}
+
+// Attr is a single name="value" attribute on a tag.
+type Attr struct {
+	// Name is the attribute name, lower-cased.
+	Name string
+	// Value is the decoded attribute value ("" for bare attributes).
+	Value string
+}
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	// Type classifies the token.
+	Type TokenType
+	// Data is the tag name (lower-cased) for tag tokens, the decoded text
+	// for text tokens, and the raw payload for comments/doctypes.
+	Data string
+	// Attrs holds tag attributes in document order. Nil for non-tag tokens.
+	Attrs []Attr
+	// Offset is the byte offset of the token start in the input.
+	Offset int
+}
+
+// Attr returns the value of the named attribute and whether it was present.
+// The lookup is case-insensitive because attribute names are stored
+// lower-cased.
+func (t *Token) Attr(name string) (string, bool) {
+	name = strings.ToLower(name)
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the token approximately as it would appear in a document.
+// It is intended for debugging and tests, not for byte-exact serialization.
+func (t *Token) String() string {
+	switch t.Type {
+	case TextToken:
+		return t.Data
+	case StartTagToken, SelfClosingTagToken:
+		var b strings.Builder
+		b.WriteByte('<')
+		b.WriteString(t.Data)
+		for _, a := range t.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+		if t.Type == SelfClosingTagToken {
+			b.WriteString("/>")
+		} else {
+			b.WriteByte('>')
+		}
+		return b.String()
+	case EndTagToken:
+		return "</" + t.Data + ">"
+	case CommentToken:
+		return "<!--" + t.Data + "-->"
+	case DoctypeToken:
+		return "<!" + t.Data + ">"
+	case ProcInstToken:
+		return "<?" + t.Data + "?>"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,165 @@
+// Package rules implements the extraction-rule cache of the paper's Section
+// 6.6: because the structure of a web site rarely changes, the minimal
+// subtree path and separator tag discovered for one page of a site can be
+// stored and replayed on its other pages, skipping subtree and separator
+// discovery entirely — the second, order-of-magnitude-faster extraction
+// method of Table 17.
+package rules
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Rule is a learned extraction rule for one site.
+type Rule struct {
+	// Site identifies the web site the rule was learned from.
+	Site string `json:"site"`
+	// SubtreePath is the dot-notation path of the object-rich subtree.
+	SubtreePath string `json:"subtreePath"`
+	// Separator is the object separator tag.
+	Separator string `json:"separator"`
+	// LearnedAt records when the rule was discovered (RFC 3339 in JSON).
+	LearnedAt time.Time `json:"learnedAt"`
+}
+
+// Valid reports whether the rule carries the fields replay requires.
+func (r Rule) Valid() bool {
+	return r.SubtreePath != "" && r.Separator != ""
+}
+
+// ErrNotFound is returned when a store holds no rule for a site.
+var ErrNotFound = errors.New("rules: no rule for site")
+
+// Store is a concurrency-safe collection of per-site extraction rules with
+// JSON persistence.
+type Store struct {
+	mu    sync.RWMutex
+	rules map[string]Rule
+}
+
+// NewStore returns an empty rule store.
+func NewStore() *Store {
+	return &Store{rules: make(map[string]Rule)}
+}
+
+// Put stores (or replaces) the rule for its site.
+func (s *Store) Put(r Rule) error {
+	if r.Site == "" {
+		return errors.New("rules: rule has no site")
+	}
+	if !r.Valid() {
+		return fmt.Errorf("rules: invalid rule for site %q", r.Site)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules[r.Site] = r
+	return nil
+}
+
+// Get returns the rule for the site, or ErrNotFound.
+func (s *Store) Get(site string) (Rule, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rules[site]
+	if !ok {
+		return Rule{}, fmt.Errorf("%w: %s", ErrNotFound, site)
+	}
+	return r, nil
+}
+
+// Delete removes the rule for the site, if present.
+func (s *Store) Delete(site string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.rules, site)
+}
+
+// Len returns the number of stored rules.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rules)
+}
+
+// Sites returns the stored sites in sorted order.
+func (s *Store) Sites() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sites := make([]string, 0, len(s.rules))
+	for site := range s.rules {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// WriteTo serializes the store as a JSON array sorted by site.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	list := make([]Rule, 0, len(s.rules))
+	for _, r := range s.rules {
+		list = append(list, r)
+	}
+	s.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].Site < list[j].Site })
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("rules: marshal: %w", err)
+	}
+	n, err := w.Write(append(data, '\n'))
+	return int64(n), err
+}
+
+// ReadFrom loads rules from a JSON array, merging into the store.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return int64(len(data)), fmt.Errorf("rules: read: %w", err)
+	}
+	var list []Rule
+	if err := json.Unmarshal(data, &list); err != nil {
+		return int64(len(data)), fmt.Errorf("rules: unmarshal: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rule := range list {
+		if rule.Site != "" && rule.Valid() {
+			s.rules[rule.Site] = rule
+		}
+	}
+	return int64(len(data)), nil
+}
+
+// Save writes the store to a file.
+func (s *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("rules: save: %w", err)
+	}
+	defer f.Close()
+	if _, err := s.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store from a file created by Save.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rules: load: %w", err)
+	}
+	defer f.Close()
+	s := NewStore()
+	if _, err := s.ReadFrom(f); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,125 @@
+package separator
+
+import (
+	"sort"
+	"strings"
+
+	"omini/internal/tagtree"
+)
+
+// pp is the Partial Path heuristic of Section 5.5, introduced by Omini:
+// multiple instances of one object type share the same tag structure, so
+// the tag whose downward paths repeat most often is the likely separator.
+// All paths from each candidate node (a child of the chosen subtree) to
+// every node reachable from it are listed and counted; candidate tags are
+// ranked descending by path count, with longer paths (more structure)
+// breaking ties. With no paths longer than one, PP reduces to highest
+// count — exactly the paper's remark about the Library of Congress page.
+// Tags whose best path occurs only once are not ranked (the paper's Table 8
+// lists no count-1 tags): a pattern seen once separates nothing.
+type pp struct{}
+
+// PP returns the partial path heuristic.
+func PP() Heuristic { return pp{} }
+
+func (pp) Name() string { return "PP" }
+
+func (pp) Letter() byte { return 'P' }
+
+// PathCount is one row of the partial-path listing (Table 7).
+type PathCount struct {
+	// Path is the dot-joined downward tag path, e.g. "table.tr.td".
+	Path string
+	// Count is the number of occurrences of the path across all candidate
+	// nodes.
+	Count int
+}
+
+func (pp) Rank(sub *tagtree.Node) []Ranked {
+	paths := PPPaths(sub)
+	stats := childStats(sub)
+	type best struct {
+		count  int
+		length int
+	}
+	bests := make(map[string]best)
+	var tags []string
+	for _, pc := range paths {
+		tag := pc.Path
+		if dot := strings.IndexByte(tag, '.'); dot >= 0 {
+			tag = tag[:dot]
+		}
+		length := strings.Count(pc.Path, ".") + 1
+		b, ok := bests[tag]
+		if !ok {
+			tags = append(tags, tag)
+			bests[tag] = best{count: pc.Count, length: length}
+			continue
+		}
+		if pc.Count > b.count || (pc.Count == b.count && length > b.length) {
+			b.count, b.length = pc.Count, length
+			bests[tag] = b
+		}
+	}
+	sort.SliceStable(tags, func(i, j int) bool {
+		a, b := bests[tags[i]], bests[tags[j]]
+		if a.count != b.count {
+			return a.count > b.count
+		}
+		if a.length != b.length {
+			return a.length > b.length
+		}
+		// Every path starts at a child of sub, so both tags have child
+		// stats; remaining ties follow document order of first appearance.
+		return stats[tags[i]].first < stats[tags[j]].first
+	})
+	out := make([]Ranked, 0, len(tags))
+	for _, tag := range tags {
+		if bests[tag].count < 2 {
+			continue
+		}
+		out = append(out, Ranked{Tag: tag, Score: float64(bests[tag].count)})
+	}
+	return out
+}
+
+// PPPaths enumerates every downward tag path starting at a child of the
+// chosen subtree (Table 7): for each candidate child c and each tag node v
+// reachable from c, the dot-joined sequence of tag names from c to v counts
+// one occurrence. Paths are returned in descending count order, ties broken
+// by longer path then lexicographic order.
+func PPPaths(sub *tagtree.Node) []PathCount {
+	counts := make(map[string]int)
+	var stack []string
+	var walk func(n *tagtree.Node)
+	walk = func(n *tagtree.Node) {
+		if n.IsContent() {
+			return
+		}
+		stack = append(stack, n.Tag)
+		counts[strings.Join(stack, ".")]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	for _, c := range sub.Children {
+		walk(c)
+	}
+	out := make([]PathCount, 0, len(counts))
+	for p, c := range counts {
+		out = append(out, PathCount{Path: p, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		la, lb := strings.Count(a.Path, "."), strings.Count(b.Path, ".")
+		if la != lb {
+			return la > lb
+		}
+		return a.Path < b.Path
+	})
+	return out
+}

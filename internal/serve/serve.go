@@ -1,0 +1,257 @@
+// Package serve implements the HTTP extraction service behind
+// cmd/ominiserve: Omini as a component of an information aggregation
+// system. Clients POST raw HTML and receive extracted objects or
+// wrapper-projected records; discovered rules and wrappers are cached per
+// site, so a site's first page pays for discovery and the rest take the
+// fast path. A rule that stops matching (the site changed) is relearned
+// transparently.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+
+	"omini/internal/core"
+	"omini/internal/nav"
+	"omini/internal/rules"
+	"omini/internal/wrapgen"
+)
+
+// Config tunes the service.
+type Config struct {
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP handler. Create with New.
+type Server struct {
+	cfg       Config
+	mux       *http.ServeMux
+	extractor *core.Extractor
+
+	mu       sync.RWMutex
+	rules    *rules.Store
+	wrappers map[string]*wrapgen.Wrapper
+}
+
+// New returns a ready-to-serve handler.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		extractor: core.New(core.Options{}),
+		rules:     rules.NewStore(),
+		wrappers:  make(map[string]*wrapgen.Wrapper),
+	}
+	s.mux.HandleFunc("POST /extract", s.handleExtract)
+	s.mux.HandleFunc("POST /records", s.handleRecords)
+	s.mux.HandleFunc("GET /rules", s.handleRules)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the service's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// objectResponse is the /extract payload.
+type objectResponse struct {
+	Site        string  `json:"site,omitempty"`
+	SubtreePath string  `json:"subtreePath"`
+	Separator   string  `json:"separator"`
+	Confidence  float64 `json:"confidence"`
+	FromRule    bool    `json:"fromRule"`
+	// NextPage is the discovered next-result-page link, when the page has
+	// one — the crawl pointer an aggregator follows.
+	NextPage string      `json:"nextPage,omitempty"`
+	Objects  []objectDTO `json:"objects"`
+}
+
+type objectDTO struct {
+	Index int    `json:"index"`
+	Text  string `json:"text"`
+	Size  int    `json:"sizeBytes"`
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	html, site, ok := s.readPage(w, r)
+	if !ok {
+		return
+	}
+	res, fromRule, err := s.extract(site, html)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	resp := objectResponse{
+		Site:        site,
+		SubtreePath: res.SubtreePath,
+		Separator:   res.Separator,
+		Confidence:  res.Confidence(),
+		FromRule:    fromRule,
+	}
+	if res.Tree != nil {
+		if next, ok := nav.FindNext(res.Tree); ok {
+			resp.NextPage = next
+		}
+	}
+	for i, o := range res.Objects {
+		resp.Objects = append(resp.Objects, objectDTO{Index: i + 1, Text: o.Text(), Size: o.Size()})
+	}
+	writeJSON(w, resp)
+}
+
+// recordResponse is the /records payload.
+type recordResponse struct {
+	Site    string           `json:"site"`
+	Fields  []wrapgen.Field  `json:"fields"`
+	Records []wrapgen.Record `json:"records"`
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	html, site, ok := s.readPage(w, r)
+	if !ok {
+		return
+	}
+	if site == "" {
+		http.Error(w, "records endpoint requires ?site=", http.StatusBadRequest)
+		return
+	}
+	wrapper, err := s.wrapperFor(site, html)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	// Wrapper evolution: a page that no longer resembles the training page
+	// triggers relearning before extraction goes wrong quietly.
+	if stale, err := wrapper.Stale(html, wrapgen.DefaultDriftThreshold); err == nil && stale {
+		if relearned, err := s.relearnWrapper(site, html); err == nil {
+			wrapper = relearned
+		}
+	}
+	records, err := wrapper.Extract(html)
+	if err != nil {
+		// The cached wrapper no longer matches; relearn once.
+		wrapper, err = s.relearnWrapper(site, html)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		if records, err = wrapper.Extract(html); err != nil {
+			httpError(w, err)
+			return
+		}
+	}
+	writeJSON(w, recordResponse{Site: site, Fields: wrapper.Fields, Records: records})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := s.rules.WriteTo(w); err != nil {
+		httpError(w, err)
+	}
+}
+
+// extract runs the cached-rule fast path when possible, falling back to
+// (and caching) full discovery.
+func (s *Server) extract(site, html string) (*core.Result, bool, error) {
+	if site != "" {
+		s.mu.RLock()
+		rule, err := s.rules.Get(site)
+		s.mu.RUnlock()
+		if err == nil {
+			if res, err := s.extractor.ExtractWithRule(html, rule); err == nil {
+				return res, true, nil
+			}
+			// Stale rule: drop it and rediscover.
+			s.mu.Lock()
+			s.rules.Delete(site)
+			delete(s.wrappers, site)
+			s.mu.Unlock()
+		}
+	}
+	res, err := s.extractor.Extract(html)
+	if err != nil {
+		return nil, false, err
+	}
+	if site != "" {
+		s.mu.Lock()
+		_ = s.rules.Put(res.Rule(site))
+		s.mu.Unlock()
+	}
+	return res, false, nil
+}
+
+// wrapperFor returns the site's cached wrapper, learning one if needed.
+func (s *Server) wrapperFor(site, html string) (*wrapgen.Wrapper, error) {
+	s.mu.RLock()
+	wrapper := s.wrappers[site]
+	s.mu.RUnlock()
+	if wrapper != nil {
+		return wrapper, nil
+	}
+	return s.relearnWrapper(site, html)
+}
+
+func (s *Server) relearnWrapper(site, html string) (*wrapgen.Wrapper, error) {
+	wrapper, err := wrapgen.Learn(site, html)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.wrappers[site] = wrapper
+	_ = s.rules.Put(wrapper.Rule)
+	s.mu.Unlock()
+	return wrapper, nil
+}
+
+// readPage reads and validates the request body and site parameter.
+func (s *Server) readPage(w http.ResponseWriter, r *http.Request) (html, site string, ok bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return "", "", false
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		http.Error(w, "body exceeds limit", http.StatusRequestEntityTooLarge)
+		return "", "", false
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty body", http.StatusBadRequest)
+		return "", "", false
+	}
+	return string(body), r.URL.Query().Get("site"), true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError maps extraction failures to status codes.
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrNoObjects),
+		errors.Is(err, wrapgen.ErrNoObjects),
+		errors.Is(err, wrapgen.ErrNoFields):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrRuleMismatch):
+		status = http.StatusConflict
+	}
+	http.Error(w, err.Error(), status)
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"omini/internal/sitegen"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/html", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var buf strings.Builder
+	if _, err := buf.WriteString(readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestExtractEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	page := sitegen.Canoe()
+	resp, body := post(t, ts.URL+"/extract?site="+page.Site, page.HTML)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out objectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if out.Separator != "table" || len(out.Objects) != page.Truth.ObjectCount {
+		t.Errorf("separator=%q objects=%d", out.Separator, len(out.Objects))
+	}
+	if out.FromRule {
+		t.Error("first extraction claimed the rule path")
+	}
+	if out.Confidence <= 0.5 {
+		t.Errorf("confidence = %v", out.Confidence)
+	}
+
+	// Second request for the same site takes the cached-rule path.
+	resp2, body2 := post(t, ts.URL+"/extract?site="+page.Site, page.HTML)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp2.StatusCode)
+	}
+	var out2 objectResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.FromRule {
+		t.Error("second extraction did not use the cached rule")
+	}
+	if len(out2.Objects) != len(out.Objects) {
+		t.Errorf("rule path objects = %d, discovery = %d", len(out2.Objects), len(out.Objects))
+	}
+}
+
+func TestExtractStaleRuleRelearns(t *testing.T) {
+	ts := newTestServer(t)
+	// Learn a rule from the canoe page under site X...
+	canoe := sitegen.Canoe()
+	if resp, _ := post(t, ts.URL+"/extract?site=changing.example", canoe.HTML); resp.StatusCode != http.StatusOK {
+		t.Fatal("initial extraction failed")
+	}
+	// ...then serve a structurally different page for the same site.
+	loc := sitegen.LOC()
+	resp, body := post(t, ts.URL+"/extract?site=changing.example", loc.HTML)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out objectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.FromRule {
+		t.Error("stale rule was not rediscovered")
+	}
+	if len(out.Objects) != loc.Truth.ObjectCount {
+		t.Errorf("objects = %d, want %d", len(out.Objects), loc.Truth.ObjectCount)
+	}
+}
+
+func TestRecordsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	page := sitegen.Canoe()
+	resp, body := post(t, ts.URL+"/records?site="+page.Site, page.HTML)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out recordResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != page.Truth.ObjectCount {
+		t.Fatalf("records = %d, want %d", len(out.Records), page.Truth.ObjectCount)
+	}
+	for i, rec := range out.Records {
+		if rec["title"] != page.Truth.ObjectTitles[i] {
+			t.Errorf("record %d title = %q", i, rec["title"])
+		}
+	}
+}
+
+func TestRecordsRequiresSite(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := post(t, ts.URL+"/records", sitegen.Canoe().HTML)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestExtractRejectsEmptyAndHuge(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxBodyBytes: 64}))
+	defer ts.Close()
+	if resp, _ := post(t, ts.URL+"/extract", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body status = %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/extract", strings.Repeat("x", 200)); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("huge body status = %d", resp.StatusCode)
+	}
+}
+
+func TestExtractUnprocessablePage(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := post(t, ts.URL+"/extract", "<html><body>prose only</body></html>")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	page := sitegen.LOC()
+	post(t, ts.URL+"/extract?site="+page.Site, page.HTML)
+	resp, err := http.Get(ts.URL + "/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	if !strings.Contains(body, page.Site) {
+		t.Errorf("rules dump missing site: %s", body)
+	}
+}
+
+func TestExtractReportsNextPage(t *testing.T) {
+	ts := newTestServer(t)
+	spec := sitegen.SiteSpec{
+		Name: "paged.example", Domain: sitegen.DomainSearch,
+		LayoutName: "para-div",
+		Noise:      sitegen.NoiseSpec{InlineHeader: true, InlineFooter: true},
+		MinItems:   6, MaxItems: 10,
+	}
+	page := spec.Page(0)
+	resp, body := post(t, ts.URL+"/extract?site="+spec.Name, page.HTML)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out objectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.NextPage != "/next" {
+		t.Errorf("nextPage = %q, want /next", out.NextPage)
+	}
+}
+
+func TestRecordsRelearnOnDrift(t *testing.T) {
+	ts := newTestServer(t)
+	// Train the wrapper on a table-layout page...
+	canoe := sitegen.Canoe()
+	if resp, _ := post(t, ts.URL+"/records?site=drift.example", canoe.HTML); resp.StatusCode != http.StatusOK {
+		t.Fatal("training request failed")
+	}
+	// ...then serve a redesigned (hr-record) page for the same site. The
+	// drift check must relearn instead of mis-projecting.
+	loc := sitegen.LOC()
+	resp, body := post(t, ts.URL+"/records?site=drift.example", loc.HTML)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out recordResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != loc.Truth.ObjectCount {
+		t.Fatalf("records = %d, want %d after relearn", len(out.Records), loc.Truth.ObjectCount)
+	}
+	if out.Records[0]["title"] == "" {
+		t.Error("relearned wrapper produced empty titles")
+	}
+}

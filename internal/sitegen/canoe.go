@@ -1,0 +1,134 @@
+package sitegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// canoeHeadlines are the twelve news items of the canoe.com replica.
+var canoeHeadlines = []struct {
+	headline string
+	summary  string
+	source   string
+}{
+	{"Maple Leafs clinch playoff berth with overtime win",
+		"Toronto defeated Ottawa 4-3 in overtime on Saturday night to secure a spot in the post-season for the third consecutive year.", "CANOE Sports"},
+	{"Federal budget promises surplus for third straight year",
+		"The finance minister tabled a budget that projects a modest surplus, with new spending on health care and debt reduction.", "CANOE Money"},
+	{"Canadian dollar climbs against greenback",
+		"The loonie gained half a cent against the US dollar in heavy trading as commodity prices continued their spring rally.", "CANOE Money"},
+	{"Blue Jays open season with comeback victory",
+		"A three-run ninth inning gave Toronto an opening-day win in front of a sellout crowd at SkyDome on Monday afternoon.", "CANOE Sports"},
+	{"New telescope snaps sharpest images of distant galaxy",
+		"Astronomers released images captured by the new instrument showing spiral arms in unprecedented detail.", "CANOE C-Health"},
+	{"Census shows urban growth outpacing rural regions",
+		"Statistics released Tuesday show city populations growing at twice the national rate over the past five years.", "CANOE CNEWS"},
+	{"Film festival announces record lineup of premieres",
+		"Organizers said this fall's festival will screen more than three hundred films from forty countries.", "JAM! Showbiz"},
+	{"Scientists report progress on new flu vaccine",
+		"Researchers say early trials of the candidate vaccine produced a strong immune response with mild side effects.", "CANOE C-Health"},
+	{"Tech shares rally as quarterly earnings beat forecasts",
+		"Technology stocks led the market higher after several bellwether companies reported better-than-expected results.", "CANOE Money"},
+	{"Olympic committee shortlists three cities for winter games",
+		"The shortlist was announced Wednesday; a final decision is expected at next summer's session.", "SLAM! Sports"},
+	{"Storm system brings heavy snow to the prairies",
+		"Up to thirty centimetres fell across southern Manitoba, closing highways and delaying flights.", "CANOE CNEWS"},
+	{"Veteran goaltender announces retirement after 18 seasons",
+		"The netminder leaves the game holding franchise records for wins and shutouts.", "SLAM! Sports"},
+}
+
+// canoeNavChannels populate the navigation menu whose font node carries the
+// highest fan-out in the tree — the documented failure case of HF.
+var canoeNavChannels = []string{
+	"CNEWS", "Money", "Sports", "JAM!", "C-Health", "Lifewise", "AUTONET",
+	"Travel", "Slam", "Matchmaker", "Weather", "Horoscopes", "Lotteries",
+	"Crossword", "Scoreboard", "Mutual Funds", "Stocks", "Classifieds",
+	"Careers", "Obituaries",
+}
+
+// canoeNewsTable renders one news item in the nested-table layout of
+// Figure 5: outer table > tr > (td with img, td with inner table whose
+// second cell carries font > b/a headline, two br, bold source).
+func canoeNewsTable(i int, headline, summary, source string) string {
+	return fmt.Sprintf(`<table width="100%%"><tr>`+
+		`<td width="20%%"><img src="/img/story%d.gif" alt="photo"></td>`+
+		`<td><table><tr><td>%02d.</td>`+
+		`<td><font size="2"><b><a href="/cnews/story%d.html">%s</a></b>`+
+		`<br>%s<br><b>%s</b></font></td>`+
+		`</tr></table></td>`+
+		`</tr></table>`+"\n", i, i+1, i, headline, summary, source)
+}
+
+// Canoe returns the canoe.com replica of Figures 4/5. The object-rich
+// subtree is the fourth child of body (a form); its 19 children are
+// img, br, img, br, the navigation table, six news tables, an empty map,
+// six more news tables, and a trailing search form — a layout whose sibling
+// pair counts reproduce the paper's Table 6 exactly ((table,table) x11,
+// (img,br) x2, (br,img), (br,table), (table,map), (map,table),
+// (table,form) x1 each).
+func Canoe() Page {
+	var b strings.Builder
+	b.WriteString("<html><head><title>CANOE -- Search Results</title></head><body>\n")
+
+	// body child 1: banner table (logo plus a couple of short links).
+	b.WriteString(`<table><tr><td><img src="/img/canoe.gif" alt="CANOE"></td>` +
+		`<td><a href="/">Home</a></td><td><a href="/help">Help</a></td></tr></table>` + "\n")
+
+	// body child 2: the small search form the GSI table ranks (form[2]).
+	b.WriteString(`<form action="/search"><table><tr><td>Find:</td>` +
+		`<td><input type="text" name="q"><input type="submit" value="Go"></td></tr></table></form>` + "\n")
+
+	// body child 3: rule between chrome and results.
+	b.WriteString("<hr>\n")
+
+	// body child 4: the object-rich form.
+	b.WriteString(`<form action="/search/again">` + "\n")
+	b.WriteString(`<img src="/img/ad-top.gif" alt="ad"><br>` + "\n")
+	b.WriteString(`<img src="/img/ad-side.gif" alt="ad"><br>` + "\n")
+
+	// Child 5: navigation table whose td[2]>font[1] holds the link list.
+	b.WriteString(`<table border="0"><tr><td>Channels</td><td><font size="1">`)
+	for i, ch := range canoeNavChannels {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, `<a href="/%s">%s</a>`, strings.ToLower(strings.Trim(ch, "!")), ch)
+	}
+	b.WriteString(`</font></td></tr></table>` + "\n")
+
+	// Children 6-11: first six news tables.
+	for i, item := range canoeHeadlines[:6] {
+		b.WriteString(canoeNewsTable(i, item.headline, item.summary, item.source))
+	}
+	// Child 12: empty image map between the two result groups.
+	b.WriteString(`<map name="midnav"></map>` + "\n")
+	// Children 13-18: remaining six news tables.
+	for i, item := range canoeHeadlines[6:] {
+		b.WriteString(canoeNewsTable(i+6, item.headline, item.summary, item.source))
+	}
+	// Child 19: trailing refine-search form.
+	b.WriteString(`<form action="/search"><table><tr><td>Search again:</td>` +
+		`<td><input type="text" name="q"><input type="submit" value="Search"></td></tr></table></form>` + "\n")
+	b.WriteString("</form>\n")
+
+	// body children 5 and 6: closing rule and footer.
+	b.WriteString("<hr>\n")
+	b.WriteString(`<p>Copyright 2000, Canoe Limited Partnership.</p>` + "\n")
+	b.WriteString("</body></html>\n")
+
+	headlines := make([]string, len(canoeHeadlines))
+	for i, item := range canoeHeadlines {
+		headlines[i] = item.headline
+	}
+	return Page{
+		Site: "www.canoe.com",
+		Name: "canoe-search",
+		HTML: b.String(),
+		Truth: Truth{
+			SubtreePath:  "html[1].body[2].form[4]",
+			Separators:   []string{"table"},
+			ObjectCount:  len(canoeHeadlines),
+			ObjectTitles: headlines,
+		},
+	}
+}

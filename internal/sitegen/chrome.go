@@ -1,0 +1,83 @@
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// chromeProfile describes the page furniture around the content region:
+// banners, navigation menus, sidebars and footers. Chrome is what defeats
+// the naive highest-fanout subtree heuristic (Section 4.1) — a navigation
+// menu with more links than there are search results.
+type chromeProfile struct {
+	// banner emits a logo table at the top of the body.
+	banner bool
+	// navLinks emits a navigation menu of that many links inside a
+	// table>tr>td>font chain, canoe.com style (0 = none).
+	navLinks int
+	// sidebarLinks wraps the content region in a two-cell table whose
+	// first cell carries that many stacked links (0 = no sidebar).
+	sidebarLinks int
+	// footerLinks emits a footer paragraph with that many links.
+	footerLinks int
+	// searchForm emits a small search form above the content region.
+	searchForm bool
+}
+
+var navWords = []string{
+	"Home", "News", "Sports", "Money", "Shop", "Books", "Music", "Video",
+	"Travel", "Careers", "Weather", "Health", "Science", "Politics",
+	"Local", "World", "Opinion", "Archive", "Help", "Contact", "About",
+	"Specials", "Auctions", "Classifieds", "Horoscopes", "Lotteries",
+	"Community", "Calendar", "Directory", "Gifts", "Kids", "Teens",
+	"Software", "Hardware", "Reviews", "Forums", "Chat", "Email", "Maps",
+	"Stocks",
+}
+
+func writeBanner(b *strings.Builder, site string) {
+	fmt.Fprintf(b, `<table><tr><td><img src="/img/logo.gif" alt="%s"></td>`+
+		`<td><a href="/">Home</a></td><td><a href="/help">Help</a></td></tr></table>`+"\n", site)
+}
+
+func writeNavMenu(rng *rand.Rand, b *strings.Builder, links int) {
+	b.WriteString(`<table border="0"><tr><td>Channels</td><td><font size="1">`)
+	for i := 0; i < links; i++ {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		w := navWords[(i+rng.Intn(3))%len(navWords)]
+		fmt.Fprintf(b, `<a href="/%s%d">%s</a>`, strings.ToLower(w), i, w)
+	}
+	b.WriteString(`</font></td></tr></table>` + "\n")
+}
+
+func writeSearchForm(b *strings.Builder) {
+	b.WriteString(`<form action="/search"><table><tr><td>Find:</td>` +
+		`<td><input type="text" name="q"><input type="submit" value="Go"></td></tr></table></form>` + "\n")
+}
+
+func writeSidebarOpen(rng *rand.Rand, b *strings.Builder, links int) {
+	b.WriteString(`<table width="100%"><tr><td valign="top" width="15%">`)
+	for i := 0; i < links; i++ {
+		w := navWords[(i*7+rng.Intn(5))%len(navWords)]
+		fmt.Fprintf(b, `<a href="/side/%d">%s</a><br>`, i, w)
+	}
+	b.WriteString(`</td><td valign="top">`)
+}
+
+func writeSidebarClose(b *strings.Builder) {
+	b.WriteString(`</td></tr></table>` + "\n")
+}
+
+func writeFooter(b *strings.Builder, links int) {
+	b.WriteString(`<p>`)
+	for i := 0; i < links; i++ {
+		if i > 0 {
+			b.WriteString(" - ")
+		}
+		w := navWords[(i*3)%len(navWords)]
+		fmt.Fprintf(b, `<a href="/footer/%d">%s</a>`, i, w)
+	}
+	b.WriteString(` Copyright 2000.</p>` + "\n")
+}

@@ -1,0 +1,417 @@
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Layout is one of the presentation families the paper's IPS table (Table
+// 4) enumerates: how a site arranges its result objects inside the
+// object-rich container.
+type Layout struct {
+	// Name identifies the family in reports.
+	Name string
+	// Container is the tag of the element wrapping the object list — the
+	// anchor of the minimal object-rich subtree.
+	Container string
+	// Separators are the correct object separator tags, best first.
+	Separators []string
+	// render writes the container's inner HTML for the given items.
+	render func(rng *rand.Rand, items []Item, noise noiseProfile, b *strings.Builder)
+}
+
+// noiseProfile controls the era-typical sloppiness and in-region clutter a
+// site's pages carry. Noise both exercises the tidy substrate and creates
+// the adversarial conditions under which individual heuristics fail.
+type noiseProfile struct {
+	// uncloseTags leaves li/p/td/dt end tags out (tidy must repair).
+	uncloseTags bool
+	// upperTags emits tag names in upper case.
+	upperTags bool
+	// unquotedAttrs emits attribute values without quotes.
+	unquotedAttrs bool
+	// interItemBreaks inserts <br> runs between items (decoy high-count
+	// tag at candidate level).
+	interItemBreaks bool
+	// heavyBreaks emits one or two <br> after every item, pushing the br
+	// count above the separator count — the high-count irregular decoy
+	// that defeats count-based heuristics (the paper's HC discussion).
+	heavyBreaks bool
+	// doubleBreaks deterministically separates items with <br><br> runs —
+	// a high-count, regularly repeating decoy that poisons count- and
+	// pattern-based heuristics (the failure mode of the paper's Table 18
+	// comparison sites).
+	doubleBreaks bool
+	// headerStyle selects the inline header markup: "b" (default) or "p"
+	// (a decoy high on the BYU identifiable-tag list).
+	headerStyle string
+	// plainTitles renders every other item's title as plain text instead
+	// of a link, making the objects' opening pattern inconsistent (the
+	// repeating-pattern heuristic's blind spot).
+	plainTitles bool
+	// inlineHeader opens the region with a heading + blurb inside the
+	// container (candidate object construction must shed it).
+	inlineHeader bool
+	// inlineFooter closes the region with pagination links inside the
+	// container.
+	inlineFooter bool
+	// adEvery inserts an ad block into the region every n items (0 = off).
+	adEvery int
+	// hrDecorEvery inserts a decorative <hr> section rule every n items
+	// (0 = off) — harmless to every heuristic except a fixed separator
+	// list that ranks hr first.
+	hrDecorEvery int
+	// centerDividerEvery inserts a <center> divider every n items (0 =
+	// off). Combined with alternating item sizes, its gaps are nearly
+	// constant — a regularity trap for the standard-deviation heuristic
+	// that no tag-list or pattern heuristic falls for.
+	centerDividerEvery int
+}
+
+// tag renders a tag name respecting the upper-case noise flag.
+func (np noiseProfile) tag(name string) string {
+	if np.upperTags {
+		return strings.ToUpper(name)
+	}
+	return name
+}
+
+// closeTag renders "</name>" or nothing when unclosed-tag noise applies and
+// the element is one browsers auto-close.
+func (np noiseProfile) closeTag(name string) string {
+	if np.uncloseTags {
+		switch name {
+		case "li", "p", "td", "dt", "dd", "tr", "option":
+			return ""
+		}
+	}
+	return "</" + np.tag(name) + ">"
+}
+
+// attr renders name="value" or unquoted per the profile.
+func (np noiseProfile) attr(name, value string) string {
+	if np.unquotedAttrs && !strings.ContainsAny(value, " \t\"'<>") {
+		return fmt.Sprintf(` %s=%s`, name, value)
+	}
+	return fmt.Sprintf(` %s=%q`, name, value)
+}
+
+// header/footer/ad snippets shared by layouts.
+
+func writeInlineHeader(np noiseProfile, b *strings.Builder, count int) {
+	if !np.inlineHeader {
+		return
+	}
+	if np.headerStyle == "p" {
+		fmt.Fprintf(b, `<%s>Your search matched %d documents.%s`,
+			np.tag("p"), count*7, np.closeTag("p"))
+		fmt.Fprintf(b, `<%s>Sorted by relevance. Results below.%s`,
+			np.tag("p"), np.closeTag("p"))
+		return
+	}
+	fmt.Fprintf(b, `<%s>Your search matched %d documents.%s`,
+		np.tag("b"), count*7, np.closeTag("b"))
+}
+
+func writeInlineFooter(np noiseProfile, b *strings.Builder) {
+	if !np.inlineFooter {
+		return
+	}
+	fmt.Fprintf(b, `<%s%s>Next page</%s> <%s%s>Previous</%s>`,
+		np.tag("a"), np.attr("href", "/next"), np.tag("a"),
+		np.tag("a"), np.attr("href", "/prev"), np.tag("a"))
+}
+
+func writeAd(np noiseProfile, b *strings.Builder, i int) {
+	// Era-typical inline sponsor box: a small table inside the content
+	// region — a decoy candidate that sits high on separator tag lists.
+	fmt.Fprintf(b, `<table%s><tr><td><img%s alt="ad"> Sponsored link %d</td></tr></table>`,
+		np.attr("border", "1"), np.attr("src", fmt.Sprintf("/ads/banner%d.gif", i)), i)
+}
+
+func maybeHrDecor(np noiseProfile, b *strings.Builder, i int) {
+	if np.hrDecorEvery > 0 && i > 0 && i%np.hrDecorEvery == 0 {
+		b.WriteString("<hr>")
+	}
+}
+
+func maybeCenterDivider(np noiseProfile, b *strings.Builder, i int) {
+	if np.centerDividerEvery > 0 && i > 0 && i%np.centerDividerEvery == 0 {
+		fmt.Fprintf(b, `<center><img%s alt="divider"></center>`,
+			np.attr("src", "/img/dot.gif"))
+	}
+}
+
+func maybeBreaks(rng *rand.Rand, np noiseProfile, b *strings.Builder) {
+	switch {
+	case np.doubleBreaks:
+		b.WriteString("<br><br>")
+	case np.heavyBreaks:
+		// Zero to three spacer breaks per item (1.5 on average): enough to
+		// out-count the separator, irregular enough to carry no pattern.
+		for k := rng.Intn(4); k > 0; k-- {
+			b.WriteString("<br>")
+		}
+	case np.interItemBreaks:
+		if rng.Intn(2) == 0 {
+			b.WriteString("<br>")
+		}
+	}
+}
+
+// Layouts returns the presentation families, keyed by name.
+func Layouts() map[string]Layout {
+	families := []Layout{
+		rowTableLayout(),
+		itemTableLayout(),
+		hrRecordLayout(),
+		dlRecordLayout(),
+		ulRecordLayout(),
+		paraRecordLayout(),
+		paraDivLayout(),
+		divCardLayout(),
+		fontCatalogLayout(),
+	}
+	m := make(map[string]Layout, len(families))
+	for _, f := range families {
+		m[f.Name] = f
+	}
+	return m
+}
+
+// rowTableLayout renders objects as rows of one table — the single most
+// common style of the era (tr is the top separator in Table 5).
+func rowTableLayout() Layout {
+	return Layout{
+		Name:       "row-table",
+		Container:  "table",
+		Separators: []string{"tr"},
+		render: func(rng *rand.Rand, items []Item, np noiseProfile, b *strings.Builder) {
+			for i, it := range items {
+				fmt.Fprintf(b, `<%s>`, np.tag("tr"))
+				fmt.Fprintf(b, `<%s><%s%s>%s</%s>%s`,
+					np.tag("td"), np.tag("a"), np.attr("href", it.URL), it.Title,
+					np.tag("a"), np.closeTag("td"))
+				fmt.Fprintf(b, `<%s>%s<%s>%s%s%s`,
+					np.tag("td"), it.Desc, np.tag("br"), it.Extra, priceCell(np, it),
+					np.closeTag("td"))
+				b.WriteString(np.closeTag("tr"))
+				_ = i
+			}
+		},
+	}
+}
+
+// itemTableLayout renders each object as its own table inside the
+// container, canoe.com style.
+func itemTableLayout() Layout {
+	return Layout{
+		Name:       "item-table",
+		Container:  "form",
+		Separators: []string{"table"},
+		render: func(rng *rand.Rand, items []Item, np noiseProfile, b *strings.Builder) {
+			writeInlineHeader(np, b, len(items))
+			for i, it := range items {
+				if np.adEvery > 0 && i > 0 && i%np.adEvery == 0 {
+					writeAd(np, b, i)
+				}
+				maybeCenterDivider(np, b, i)
+				maybeBreaks(rng, np, b)
+				fmt.Fprintf(b, `<%s%s><%s>`, np.tag("table"), np.attr("width", "100%"), np.tag("tr"))
+				if it.HasImg {
+					fmt.Fprintf(b, `<%s><img%s>%s`, np.tag("td"), np.attr("src", it.Img), np.closeTag("td"))
+				}
+				fmt.Fprintf(b, `<%s><%s><%s%s>%s</%s>%s<%s>%s<%s>%s<%s>%s%s%s`,
+					np.tag("td"), np.tag("b"), np.tag("a"), np.attr("href", it.URL),
+					it.Title, np.tag("a"), "</"+np.tag("b")+">",
+					np.tag("br"), it.Desc, np.tag("br"), it.Extra,
+					np.tag("br"), priceCell(np, it),
+					np.closeTag("td"), np.closeTag("tr"))
+				fmt.Fprintf(b, `</%s>`, np.tag("table"))
+			}
+			writeInlineFooter(np, b)
+		},
+	}
+}
+
+// hrRecordLayout renders LOC-style records separated by horizontal rules.
+func hrRecordLayout() Layout {
+	return Layout{
+		Name:       "hr-record",
+		Container:  "div",
+		Separators: []string{"hr", "pre"},
+		render: func(rng *rand.Rand, items []Item, np noiseProfile, b *strings.Builder) {
+			writeInlineHeader(np, b, len(items))
+			b.WriteString("<hr>")
+			for _, it := range items {
+				fmt.Fprintf(b, `<%s>%s  %s
+    %s %s</%s>`,
+					np.tag("pre"), it.Title, it.Desc, it.Extra, it.Price, np.tag("pre"))
+				fmt.Fprintf(b, `<%s%s>Full record</%s>`, np.tag("a"), np.attr("href", it.URL), np.tag("a"))
+				b.WriteString("<hr>")
+			}
+			writeInlineFooter(np, b)
+		},
+	}
+}
+
+// dlRecordLayout renders objects as definition-list pairs.
+func dlRecordLayout() Layout {
+	return Layout{
+		Name:       "dl-record",
+		Container:  "dl",
+		Separators: []string{"dt"},
+		render: func(rng *rand.Rand, items []Item, np noiseProfile, b *strings.Builder) {
+			for i, it := range items {
+				maybeHrDecor(np, b, i)
+				maybeCenterDivider(np, b, i)
+				fmt.Fprintf(b, `<%s><%s%s>%s</%s>%s`,
+					np.tag("dt"), np.tag("a"), np.attr("href", it.URL), it.Title,
+					np.tag("a"), np.closeTag("dt"))
+				fmt.Fprintf(b, `<%s>%s <%s>%s %s%s%s`,
+					np.tag("dd"), it.Desc, np.tag("i"), it.Extra, "</"+np.tag("i")+">",
+					it.Price, np.closeTag("dd"))
+			}
+		},
+	}
+}
+
+// ulRecordLayout renders objects as list items.
+func ulRecordLayout() Layout {
+	return Layout{
+		Name:       "ul-record",
+		Container:  "ul",
+		Separators: []string{"li"},
+		render: func(rng *rand.Rand, items []Item, np noiseProfile, b *strings.Builder) {
+			writeInlineHeader(np, b, len(items))
+			for i, it := range items {
+				maybeHrDecor(np, b, i)
+				maybeBreaks(rng, np, b)
+				fmt.Fprintf(b, `<%s><%s%s>%s</%s> %s <%s>%s%s %s`,
+					np.tag("li"), np.tag("a"), np.attr("href", it.URL), it.Title,
+					np.tag("a"), it.Desc, np.tag("b"), it.Extra, "</"+np.tag("b")+">",
+					it.Price)
+				fmt.Fprintf(b, ` <%s%s>details</%s>%s`,
+					np.tag("a"), np.attr("href", it.URL+"/full"), np.tag("a"), np.closeTag("li"))
+			}
+			writeInlineFooter(np, b)
+		},
+	}
+}
+
+// paraRecordLayout renders each object as a paragraph, search-engine style.
+func paraRecordLayout() Layout {
+	return Layout{
+		Name:       "para-record",
+		Container:  "blockquote",
+		Separators: []string{"p"},
+		render: func(rng *rand.Rand, items []Item, np noiseProfile, b *strings.Builder) {
+			writeInlineHeader(np, b, len(items))
+			for i, it := range items {
+				if np.adEvery > 0 && i > 0 && i%np.adEvery == 0 {
+					writeAd(np, b, i)
+				}
+				maybeCenterDivider(np, b, i)
+				maybeBreaks(rng, np, b)
+				if np.plainTitles && i%2 == 1 {
+					fmt.Fprintf(b, `<%s>%s<%s>%s<%s><%s>%s%s%s`,
+						np.tag("p"), it.Title,
+						np.tag("br"), it.Desc, np.tag("br"), np.tag("i"), it.Extra,
+						"</"+np.tag("i")+">", np.closeTag("p"))
+				} else {
+					fmt.Fprintf(b, `<%s><%s%s><%s>%s%s</%s><%s>%s<%s><%s>%s%s%s`,
+						np.tag("p"), np.tag("a"), np.attr("href", it.URL), np.tag("b"),
+						it.Title, "</"+np.tag("b")+">", np.tag("a"),
+						np.tag("br"), it.Desc, np.tag("br"), np.tag("i"), it.Extra,
+						"</"+np.tag("i")+">", np.closeTag("p"))
+				}
+			}
+			writeInlineFooter(np, b)
+		},
+	}
+}
+
+// paraDivLayout is the paragraph layout inside a plain div container — the
+// style of search engines without blockquote indentation. The div container
+// has no per-type IPS list, so in-region table ads outrank p on the global
+// IPSList and push the correct separator to rank 2 (the Table 10 IPS
+// signature).
+func paraDivLayout() Layout {
+	base := paraRecordLayout()
+	return Layout{
+		Name:       "para-div",
+		Container:  "div",
+		Separators: base.Separators,
+		render:     base.render,
+	}
+}
+
+// divCardLayout renders objects as division cards — rare in 2000 (div sits
+// deep in the IPSList), so it stresses list-based heuristics.
+func divCardLayout() Layout {
+	return Layout{
+		Name:       "div-card",
+		Container:  "div",
+		Separators: []string{"div"},
+		render: func(rng *rand.Rand, items []Item, np noiseProfile, b *strings.Builder) {
+			writeInlineHeader(np, b, len(items))
+			for i, it := range items {
+				maybeCenterDivider(np, b, i)
+				maybeBreaks(rng, np, b)
+				fmt.Fprintf(b, `<%s%s>`, np.tag("div"), np.attr("class", "card"))
+				if it.HasImg {
+					fmt.Fprintf(b, `<img%s>`, np.attr("src", it.Img))
+				}
+				if np.plainTitles && i%2 == 1 {
+					fmt.Fprintf(b, `<%s>%s%s<%s>%s %s %s`,
+						np.tag("b"), it.Title, "</"+np.tag("b")+">",
+						np.tag("br"), it.Desc, it.Extra, it.Price)
+				} else {
+					fmt.Fprintf(b, `<%s%s>%s</%s><%s>%s %s %s`,
+						np.tag("a"), np.attr("href", it.URL), it.Title, np.tag("a"),
+						np.tag("br"), it.Desc, it.Extra, it.Price)
+				}
+				fmt.Fprintf(b, ` <%s%s>more</%s> <%s%s>similar</%s>`,
+					np.tag("a"), np.attr("href", it.URL+"/full"), np.tag("a"),
+					np.tag("a"), np.attr("href", it.URL+"/similar"), np.tag("a"))
+				fmt.Fprintf(b, `</%s>`, np.tag("div"))
+			}
+			writeInlineFooter(np, b)
+		},
+	}
+}
+
+// fontCatalogLayout renders objects as font blocks inside a table cell —
+// the td/font style of Table 4.
+func fontCatalogLayout() Layout {
+	return Layout{
+		Name:       "font-catalog",
+		Container:  "td",
+		Separators: []string{"font"},
+		render: func(rng *rand.Rand, items []Item, np noiseProfile, b *strings.Builder) {
+			writeInlineHeader(np, b, len(items))
+			for i, it := range items {
+				if np.adEvery > 0 && i > 0 && i%np.adEvery == 0 {
+					writeAd(np, b, i)
+				}
+				maybeHrDecor(np, b, i)
+				maybeBreaks(rng, np, b)
+				fmt.Fprintf(b, `<%s%s><%s><%s%s>%s</%s>%s<%s>%s %s %s`,
+					np.tag("font"), np.attr("size", "2"), np.tag("b"),
+					np.tag("a"), np.attr("href", it.URL), it.Title, np.tag("a"),
+					"</"+np.tag("b")+">", np.tag("br"), it.Desc, it.Extra, it.Price)
+				fmt.Fprintf(b, `</%s>`, np.tag("font"))
+			}
+			writeInlineFooter(np, b)
+		},
+	}
+}
+
+// priceCell renders the price fragment when the item has one.
+func priceCell(np noiseProfile, it Item) string {
+	if it.Price == "" {
+		return ""
+	}
+	return fmt.Sprintf(` <%s>%s%s`, np.tag("b"), it.Price, "</"+np.tag("b")+">")
+}

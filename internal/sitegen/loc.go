@@ -1,0 +1,73 @@
+// Package sitegen generates the web pages the experiments run on: exact
+// replicas of the paper's two running examples (the Library of Congress
+// search results of Figure 1 and the canoe.com news search of Figures 4/5)
+// and a deterministic synthetic corpus of multi-layout result sites standing
+// in for the paper's 2,000+ cached pages (see DESIGN.md §3).
+package sitegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// locTitles are the result records of the Library of Congress replica. The
+// titles vary in length so the SD heuristic has real variance to measure.
+var locTitles = []string{
+	"The voyage of the Beagle / Charles Darwin; with an introduction",
+	"On the origin of species by means of natural selection",
+	"The descent of man, and selection in relation to sex",
+	"A naturalist's voyage round the world: the journal",
+	"The expression of the emotions in man and animals",
+	"The variation of animals and plants under domestication, vol. 1",
+	"Insectivorous plants / by Charles Darwin",
+	"The power of movement in plants, assisted by Francis Darwin",
+	"The formation of vegetable mould, through the action of worms",
+	"The different forms of flowers on plants of the same species",
+	"The effects of cross and self fertilisation in the vegetable kingdom",
+	"On the various contrivances by which British and foreign orchids",
+	"The movements and habits of climbing plants, 2nd edition",
+	"Geological observations on South America",
+	"The structure and distribution of coral reefs",
+	"A monograph on the sub-class Cirripedia, with figures of all species",
+	"Journal of researches into the natural history and geology",
+	"The life and letters of Charles Darwin, including an autobiography",
+	"More letters of Charles Darwin: a record of his work",
+	"The autobiography of Charles Darwin, 1809-1882, with original omissions",
+}
+
+// LOC returns the Library of Congress replica page of Figure 1: a body
+// whose children are h1, i, then 20 records of (pre, a) separated by hr,
+// then a trailing link, br, a search form and a footer paragraph. Tag
+// counts match the paper's: hr x21, a x21, pre x20.
+func LOC() Page {
+	var b strings.Builder
+	b.WriteString("<html><head><title>Library of Congress Search Results</title></head><body>\n")
+	b.WriteString("<h1>Search Results</h1>\n")
+	b.WriteString("<i>Records 1 through 20 of 243 returned.</i>\n")
+	b.WriteString("<hr>\n")
+	for i, title := range locTitles {
+		fmt.Fprintf(&b, "<pre>[%02d] Book  %s\n     Call number QH365 .%c%d  Washington, D.C.</pre>\n",
+			i+1, title, 'A'+byte(i%26), 1859+i)
+		fmt.Fprintf(&b, "<a href=\"/cgi-bin/record?id=%d\">Full record</a>\n", i+1)
+		b.WriteString("<hr>\n")
+	}
+	b.WriteString("<a href=\"/cgi-bin/next\">Next 20 records</a>\n<br>\n")
+	b.WriteString("<form action=\"/cgi-bin/search\">")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "<input type=\"text\" name=\"f%d\">", i)
+	}
+	b.WriteString("</form>\n")
+	b.WriteString("<p>Library of Congress, 101 Independence Ave.</p>\n")
+	b.WriteString("</body></html>\n")
+	return Page{
+		Site: "www.loc.gov",
+		Name: "loc-search",
+		HTML: b.String(),
+		Truth: Truth{
+			SubtreePath:  "html[1].body[2]",
+			Separators:   []string{"hr", "pre"},
+			ObjectCount:  len(locTitles),
+			ObjectTitles: locTitles,
+		},
+	}
+}

@@ -1,0 +1,46 @@
+package sitegen
+
+// Page is one generated web page together with its ground truth.
+type Page struct {
+	// Site is the site the page belongs to (e.g. "www.loc.gov").
+	Site string
+	// Name identifies the page within its site.
+	Name string
+	// HTML is the raw page source, before normalization. Generated pages
+	// deliberately contain era-typical sloppiness (unclosed <p>/<li>/<td>,
+	// unquoted attributes) so the tidy substrate is exercised.
+	HTML string
+	// Truth is the manually-derivable ground truth the evaluation scores
+	// against, playing the role of the paper's manual page examination.
+	Truth Truth
+}
+
+// Truth is the ground truth for one page: the path of the minimal
+// object-rich subtree, the set of tags that correctly separate its objects,
+// and the number of objects the page contains.
+type Truth struct {
+	// SubtreePath is the dot-notation path of the minimal subtree
+	// containing all objects of interest.
+	SubtreePath string
+	// Separators are all correct object separator tags, best first. Any of
+	// them counts as a correct answer, matching the paper's "all possible
+	// separator tags" labelling.
+	Separators []string
+	// ObjectCount is the number of data objects on the page.
+	ObjectCount int
+	// ObjectTitles are the titles of the page's objects in order, enabling
+	// object-level precision/recall: an extracted object is correct when
+	// it contains exactly one of these titles.
+	ObjectTitles []string
+}
+
+// CorrectSeparator reports whether tag is one of the page's correct object
+// separator tags.
+func (t Truth) CorrectSeparator(tag string) bool {
+	for _, s := range t.Separators {
+		if s == tag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package sitegen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"omini/internal/tagtree"
+)
+
+// contentMarker is the attribute value marking the object-rich container in
+// generated pages, used only to compute ground truth. Attributes are
+// invisible to every extraction heuristic (they consume tag names, sizes
+// and counts), so the marker cannot leak into the evaluation.
+const contentMarker = "results"
+
+// SiteSpec defines one synthetic web site: its domain vocabulary, layout
+// family, chrome profile, noise profile and result-count range. All pages
+// of a site share structure and differ in content — exactly the property
+// the rule cache of Section 6.6 exploits.
+type SiteSpec struct {
+	// Name is the site host name, e.g. "www.bookpool.example".
+	Name string
+	// Domain selects the content vocabulary.
+	Domain Domain
+	// LayoutName selects the presentation family (see Layouts).
+	LayoutName string
+	// Chrome is the page furniture profile.
+	Chrome ChromeSpec
+	// Noise is the sloppiness/clutter profile.
+	Noise NoiseSpec
+	// MinItems and MaxItems bound the per-page object count.
+	MinItems, MaxItems int
+}
+
+// ChromeSpec is the exported page-furniture profile.
+type ChromeSpec struct {
+	Banner       bool
+	NavLinks     int
+	SidebarLinks int
+	FooterLinks  int
+	SearchForm   bool
+}
+
+// NoiseSpec is the exported noise profile.
+type NoiseSpec struct {
+	UncloseTags        bool
+	UpperTags          bool
+	UnquotedAttrs      bool
+	InterItemBreaks    bool
+	HeavyBreaks        bool
+	DoubleBreaks       bool
+	HeaderStyleP       bool
+	PlainTitles        bool
+	VarySizes          bool
+	InlineHeader       bool
+	InlineFooter       bool
+	AdEvery            int
+	HrDecorEvery       int
+	CenterDividerEvery int
+}
+
+func (n NoiseSpec) profile() noiseProfile {
+	np := noiseProfile{
+		uncloseTags:        n.UncloseTags,
+		upperTags:          n.UpperTags,
+		unquotedAttrs:      n.UnquotedAttrs,
+		interItemBreaks:    n.InterItemBreaks,
+		heavyBreaks:        n.HeavyBreaks,
+		doubleBreaks:       n.DoubleBreaks,
+		inlineHeader:       n.InlineHeader,
+		inlineFooter:       n.InlineFooter,
+		adEvery:            n.AdEvery,
+		hrDecorEvery:       n.HrDecorEvery,
+		centerDividerEvery: n.CenterDividerEvery,
+	}
+	if n.HeaderStyleP {
+		np.headerStyle = "p"
+	}
+	np.plainTitles = n.PlainTitles
+	return np
+}
+
+// Page generates the idx-th page of the site, deterministically: the same
+// (site, idx) always yields the same page, standing in for the paper's
+// locally cached corpus.
+func (s SiteSpec) Page(idx int) Page {
+	layout, ok := Layouts()[s.LayoutName]
+	if !ok {
+		panic(fmt.Sprintf("sitegen: site %q references unknown layout %q", s.Name, s.LayoutName))
+	}
+	rng := rand.New(rand.NewSource(int64(pageSeed(s.Name, idx))))
+	span := s.MaxItems - s.MinItems + 1
+	if span < 1 {
+		span = 1
+	}
+	n := s.MinItems + rng.Intn(span)
+	items := makeItems(rng, s.Domain, n, s.Noise.VarySizes)
+	titles := make([]string, len(items))
+	for i, it := range items {
+		titles[i] = it.Title
+	}
+	np := s.Noise.profile()
+
+	var region strings.Builder
+	layout.render(rng, items, np, &region)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s search results</title></head><body>\n", s.Name)
+	if s.Chrome.Banner {
+		writeBanner(&b, s.Name)
+	}
+	if s.Chrome.NavLinks > 0 {
+		writeNavMenu(rng, &b, s.Chrome.NavLinks)
+	}
+	if s.Chrome.SearchForm {
+		writeSearchForm(&b)
+	}
+	if s.Chrome.SidebarLinks > 0 {
+		writeSidebarOpen(rng, &b, s.Chrome.SidebarLinks)
+	}
+	writeContainer(&b, layout.Container, region.String())
+	if s.Chrome.SidebarLinks > 0 {
+		writeSidebarClose(&b)
+	}
+	if s.Chrome.FooterLinks > 0 {
+		writeFooter(&b, s.Chrome.FooterLinks)
+	}
+	b.WriteString("</body></html>\n")
+	html := b.String()
+
+	return Page{
+		Site: s.Name,
+		Name: fmt.Sprintf("%s-page-%03d", s.Name, idx),
+		HTML: html,
+		Truth: Truth{
+			SubtreePath:  truthPath(html),
+			Separators:   layout.Separators,
+			ObjectCount:  n,
+			ObjectTitles: titles,
+		},
+	}
+}
+
+// Pages generates pages 0..n-1 of the site.
+func (s SiteSpec) Pages(n int) []Page {
+	pages := make([]Page, n)
+	for i := range pages {
+		pages[i] = s.Page(i)
+	}
+	return pages
+}
+
+// writeContainer emits the marked object-rich container. A td container is
+// given its mandatory table/tr scaffolding.
+func writeContainer(b *strings.Builder, container, region string) {
+	switch container {
+	case "td":
+		fmt.Fprintf(b, `<table width="85%%"><tr><td id=%q>%s</td></tr></table>`+"\n",
+			contentMarker, region)
+	case "form":
+		fmt.Fprintf(b, `<form action="/results" id=%q>%s</form>`+"\n", contentMarker, region)
+	default:
+		fmt.Fprintf(b, `<%s id=%q>%s</%s>`+"\n", container, contentMarker, region, container)
+	}
+}
+
+// truthPath parses the generated page and returns the path expression of
+// the marked container — the ground-truth minimal object-rich subtree,
+// playing the role of the paper's manual page examination.
+func truthPath(html string) string {
+	root, err := tagtree.Parse(html)
+	if err != nil {
+		return ""
+	}
+	var marked *tagtree.Node
+	root.Walk(func(n *tagtree.Node) bool {
+		if marked != nil {
+			return false
+		}
+		for _, a := range n.Attrs {
+			if a.Name == "id" && a.Value == contentMarker {
+				marked = n
+				return false
+			}
+		}
+		return true
+	})
+	return tagtree.Path(marked)
+}
+
+// pageSeed derives a stable 64-bit seed from the site name and page index.
+func pageSeed(site string, idx int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	fmt.Fprintf(h, "/%d", idx)
+	return h.Sum64()
+}

@@ -1,0 +1,189 @@
+package sitegen
+
+import (
+	"strings"
+	"testing"
+
+	"omini/internal/tagtree"
+)
+
+func spec(layout string, noise NoiseSpec) SiteSpec {
+	return SiteSpec{
+		Name:       "test." + layout + ".example",
+		Domain:     DomainBooks,
+		LayoutName: layout,
+		Noise:      noise,
+		MinItems:   5,
+		MaxItems:   15,
+	}
+}
+
+func TestPageDeterministic(t *testing.T) {
+	s := spec("item-table", NoiseSpec{InlineHeader: true, HeavyBreaks: true})
+	a, b := s.Page(3), s.Page(3)
+	if a.HTML != b.HTML {
+		t.Error("same (site, idx) produced different pages")
+	}
+	if a.Truth.SubtreePath != b.Truth.SubtreePath {
+		t.Error("truth differs between identical generations")
+	}
+	c := s.Page(4)
+	if a.HTML == c.HTML {
+		t.Error("different page indexes produced identical pages")
+	}
+}
+
+func TestEveryLayoutProducesResolvableTruth(t *testing.T) {
+	for name, layout := range Layouts() {
+		t.Run(name, func(t *testing.T) {
+			s := spec(name, NoiseSpec{InlineHeader: true, InlineFooter: true})
+			page := s.Page(0)
+			if page.Truth.SubtreePath == "" {
+				t.Fatal("empty truth path")
+			}
+			root, err := tagtree.Parse(page.HTML)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			sub := tagtree.FindPath(root, page.Truth.SubtreePath)
+			if sub == nil {
+				t.Fatalf("truth path %q does not resolve", page.Truth.SubtreePath)
+			}
+			if sub.Tag != layout.Container {
+				t.Errorf("truth node is <%s>, want <%s>", sub.Tag, layout.Container)
+			}
+			if len(page.Truth.Separators) == 0 {
+				t.Error("no truth separators")
+			}
+			// The separator tag must actually appear among the container's
+			// children at least ObjectCount times (hr-style markers may
+			// exceed it by one).
+			counts := sub.ChildTagCounts()
+			sep := page.Truth.Separators[0]
+			if counts[sep] < page.Truth.ObjectCount {
+				t.Errorf("separator %q occurs %d times, want >= %d objects",
+					sep, counts[sep], page.Truth.ObjectCount)
+			}
+		})
+	}
+}
+
+func TestEveryLayoutSurvivesAllNoise(t *testing.T) {
+	noise := NoiseSpec{
+		UncloseTags: true, UpperTags: true, UnquotedAttrs: true,
+		HeavyBreaks: true, HeaderStyleP: true, PlainTitles: true,
+		VarySizes: true, InlineHeader: true, InlineFooter: true,
+		AdEvery: 3, HrDecorEvery: 4,
+	}
+	for name := range Layouts() {
+		t.Run(name, func(t *testing.T) {
+			s := spec(name, noise)
+			for i := 0; i < 5; i++ {
+				page := s.Page(i)
+				root, err := tagtree.Parse(page.HTML)
+				if err != nil {
+					t.Fatalf("page %d: parse: %v", i, err)
+				}
+				if tagtree.FindPath(root, page.Truth.SubtreePath) == nil {
+					t.Fatalf("page %d: truth path %q unresolvable under noise",
+						i, page.Truth.SubtreePath)
+				}
+			}
+		})
+	}
+}
+
+func TestChromeAppears(t *testing.T) {
+	s := spec("row-table", NoiseSpec{})
+	s.Chrome = ChromeSpec{
+		Banner: true, NavLinks: 20, SidebarLinks: 10, FooterLinks: 5, SearchForm: true,
+	}
+	page := s.Page(0)
+	for _, want := range []string{"logo.gif", "Channels", `valign="top"`, "Copyright 2000", `action="/search"`} {
+		if !strings.Contains(page.HTML, want) {
+			t.Errorf("chrome fragment %q missing", want)
+		}
+	}
+	// Sidebar wrapping must not break truth resolution.
+	root, err := tagtree.Parse(page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagtree.FindPath(root, page.Truth.SubtreePath) == nil {
+		t.Errorf("truth path %q unresolvable with sidebar", page.Truth.SubtreePath)
+	}
+}
+
+func TestObjectCountWithinBounds(t *testing.T) {
+	s := spec("ul-record", NoiseSpec{})
+	for i := 0; i < 20; i++ {
+		page := s.Page(i)
+		if page.Truth.ObjectCount < s.MinItems || page.Truth.ObjectCount > s.MaxItems {
+			t.Errorf("page %d: %d objects outside [%d,%d]",
+				i, page.Truth.ObjectCount, s.MinItems, s.MaxItems)
+		}
+	}
+}
+
+func TestNoiseUnclosedTagsActuallyUnclosed(t *testing.T) {
+	s := spec("row-table", NoiseSpec{UncloseTags: true})
+	page := s.Page(0)
+	if strings.Contains(page.HTML, "</td>") || strings.Contains(page.HTML, "</tr>") {
+		t.Error("uncloseTags noise still emits </td>/</tr>")
+	}
+}
+
+func TestNoiseUpperTags(t *testing.T) {
+	s := spec("dl-record", NoiseSpec{UpperTags: true})
+	page := s.Page(0)
+	if !strings.Contains(page.HTML, "<DT>") {
+		t.Error("upperTags noise produced no upper-case tags")
+	}
+}
+
+func TestUnknownLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown layout did not panic")
+		}
+	}()
+	bad := spec("no-such-layout", NoiseSpec{})
+	bad.Page(0)
+}
+
+func TestTruthCorrectSeparator(t *testing.T) {
+	truth := Truth{Separators: []string{"hr", "pre"}}
+	if !truth.CorrectSeparator("hr") || !truth.CorrectSeparator("pre") {
+		t.Error("listed separators not recognized")
+	}
+	if truth.CorrectSeparator("table") {
+		t.Error("unlisted separator recognized")
+	}
+}
+
+func TestPagesHelper(t *testing.T) {
+	s := spec("para-record", NoiseSpec{})
+	pages := s.Pages(4)
+	if len(pages) != 4 {
+		t.Fatalf("got %d pages", len(pages))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pages {
+		if seen[p.Name] {
+			t.Errorf("duplicate page name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestReplicasAreWellFormedPages(t *testing.T) {
+	for _, page := range []Page{LOC(), Canoe()} {
+		root, err := tagtree.Parse(page.HTML)
+		if err != nil {
+			t.Fatalf("%s: %v", page.Name, err)
+		}
+		if tagtree.FindPath(root, page.Truth.SubtreePath) == nil {
+			t.Errorf("%s: truth path %q unresolvable", page.Name, page.Truth.SubtreePath)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Domain selects the vocabulary a site draws its object content from,
+// mirroring the application domains of the paper's site lists (Tables 9 and
+// 12): book stores, auctions, news portals, web search engines, product
+// catalogs and stock quotes.
+type Domain int
+
+// Domains available to generated sites.
+const (
+	DomainBooks Domain = iota + 1
+	DomainAuctions
+	DomainNews
+	DomainSearch
+	DomainProducts
+	DomainQuotes
+)
+
+var (
+	nouns = []string{
+		"river", "compiler", "garden", "voyage", "mountain", "archive",
+		"protocol", "island", "festival", "reactor", "harbor", "novel",
+		"galaxy", "museum", "market", "engine", "canyon", "library",
+		"forest", "algorithm", "bridge", "observatory", "railway", "studio",
+		"workshop", "kernel", "satellite", "orchard", "foundry", "atlas",
+	}
+	adjectives = []string{
+		"silent", "modern", "ancient", "practical", "hidden", "complete",
+		"portable", "distributed", "annotated", "essential", "advanced",
+		"illustrated", "concise", "definitive", "updated", "rare",
+		"vintage", "digital", "compact", "professional",
+	}
+	verbs = []string{
+		"explores", "describes", "announces", "reveals", "introduces",
+		"examines", "presents", "surveys", "documents", "celebrates",
+		"measures", "improves", "challenges", "summarizes", "rebuilds",
+	}
+	surnames = []string{
+		"Okafor", "Lindqvist", "Tanaka", "Moreau", "Castellanos", "Novak",
+		"Bergstrom", "Achebe", "Kaplan", "Whitfield", "Duarte", "Ivanova",
+		"Mbeki", "Halloran", "Svensson", "Oyelaran", "Petrov", "Nakamura",
+	}
+	sources = []string{
+		"Wire Service", "Staff Report", "Business Desk", "Sports Desk",
+		"Technology Desk", "Field Bureau", "Market Watch", "Science Desk",
+	}
+)
+
+// words produces n space-joined pseudo-words.
+func words(rng *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		switch rng.Intn(3) {
+		case 0:
+			parts[i] = nouns[rng.Intn(len(nouns))]
+		case 1:
+			parts[i] = adjectives[rng.Intn(len(adjectives))]
+		default:
+			parts[i] = verbs[rng.Intn(len(verbs))]
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// titleCase upper-cases the first letter of each word.
+func titleCase(s string) string {
+	parts := strings.Fields(s)
+	for i, p := range parts {
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Item is one data object a generated page displays.
+type Item struct {
+	Title  string
+	Desc   string
+	Extra  string // author / seller / source, domain-dependent
+	Price  string
+	URL    string
+	Img    string
+	HasImg bool
+}
+
+// makeItem draws one item from the domain's vocabulary. Descriptions vary
+// widely in length (descMin..descMax words) so size-based heuristics face
+// realistic variance.
+func makeItem(rng *rand.Rand, domain Domain, seq int) Item {
+	it := Item{
+		Title: titleCase(fmt.Sprintf("the %s %s", adjectives[rng.Intn(len(adjectives))],
+			nouns[rng.Intn(len(nouns))])),
+		Desc: words(rng, 8+rng.Intn(18)),
+		URL:  fmt.Sprintf("/item/%d", seq),
+	}
+	switch domain {
+	case DomainBooks:
+		it.Extra = "by " + surnames[rng.Intn(len(surnames))] + ", " +
+			surnames[rng.Intn(len(surnames))]
+		it.Price = fmt.Sprintf("$%d.%02d", 5+rng.Intn(80), rng.Intn(100))
+	case DomainAuctions:
+		it.Extra = fmt.Sprintf("%d bids, closes in %dh", rng.Intn(40), 1+rng.Intn(72))
+		it.Price = fmt.Sprintf("$%d.%02d", 1+rng.Intn(500), rng.Intn(100))
+		it.HasImg = rng.Intn(3) > 0
+	case DomainNews:
+		it.Extra = sources[rng.Intn(len(sources))]
+		it.HasImg = rng.Intn(2) == 0
+	case DomainSearch:
+		it.Extra = fmt.Sprintf("www.site%d.example/%s", rng.Intn(900),
+			nouns[rng.Intn(len(nouns))])
+	case DomainProducts:
+		it.Extra = fmt.Sprintf("SKU %06d, in stock: %d", rng.Intn(999999), rng.Intn(50))
+		it.Price = fmt.Sprintf("$%d.99", 9+rng.Intn(190))
+		it.HasImg = true
+	case DomainQuotes:
+		it.Extra = fmt.Sprintf("vol %d", 1000+rng.Intn(9000000))
+		it.Price = fmt.Sprintf("%d.%02d", 2+rng.Intn(300), rng.Intn(100))
+	}
+	if it.HasImg {
+		it.Img = fmt.Sprintf("/img/thumb%d.gif", seq)
+	}
+	return it
+}
+
+// makeItems draws n items. With varySizes, descriptions alternate between
+// very short and very long, giving size-based heuristics realistic variance
+// to cope with.
+func makeItems(rng *rand.Rand, domain Domain, n int, varySizes bool) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = makeItem(rng, domain, i)
+		if varySizes {
+			if i%2 == 0 {
+				items[i].Desc = words(rng, 3+rng.Intn(3))
+			} else {
+				items[i].Desc = words(rng, 35+rng.Intn(15))
+			}
+		}
+	}
+	return items
+}

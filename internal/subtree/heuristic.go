@@ -1,0 +1,88 @@
+// Package subtree implements the object-rich subtree extraction heuristics
+// of the paper's Section 4: HF (highest fan-out), GSI (greatest size
+// increase), LTC (largest tag count), and the compound multi-dimensional
+// volume algorithm that combines them. Given the tag tree of a page, each
+// heuristic ranks candidate subtrees; the top-ranked subtree is taken as the
+// minimal subtree containing all objects of interest.
+package subtree
+
+import (
+	"sort"
+
+	"omini/internal/tagtree"
+)
+
+// Ranked is one entry of a heuristic's ranked subtree list.
+type Ranked struct {
+	// Node anchors the ranked subtree.
+	Node *tagtree.Node
+	// Score is the heuristic's figure of merit; higher ranks first.
+	Score float64
+}
+
+// Heuristic ranks the subtrees of a document, best candidate first.
+type Heuristic interface {
+	// Name returns the short name used in reports ("HF", "GSI", ...).
+	Name() string
+	// Rank returns candidate subtrees in descending order of merit.
+	Rank(root *tagtree.Node) []Ranked
+}
+
+// Extract runs the default (compound) heuristic and returns the top-ranked
+// object-rich subtree, or root itself when the document offers no better
+// candidate.
+func Extract(root *tagtree.Node) *tagtree.Node {
+	ranked := Compound().Rank(root)
+	if len(ranked) == 0 {
+		return root
+	}
+	return ranked[0].Node
+}
+
+// candidates returns the subtree anchors a heuristic considers: every tag
+// node with at least one child. Content nodes anchor no subtree, and a
+// childless tag cannot contain multiple objects.
+func candidates(root *tagtree.Node) []*tagtree.Node {
+	var out []*tagtree.Node
+	root.Walk(func(n *tagtree.Node) bool {
+		if !n.IsContent() && n.Fanout() > 0 {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// order maps nodes to their document-order position for stable tie-breaks.
+func order(nodes []*tagtree.Node) map[*tagtree.Node]int {
+	m := make(map[*tagtree.Node]int, len(nodes))
+	for i, n := range nodes {
+		m[n] = i
+	}
+	return m
+}
+
+// sortRanked sorts entries by descending score. Ties prefer the deeper node
+// (the *minimal* subtree with the property, per Definition 4) and then
+// document order, so rankings are deterministic.
+func sortRanked(entries []Ranked, pos map[*tagtree.Node]int) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		da, db := a.Node.Depth(), b.Node.Depth()
+		if da != db {
+			return da > db
+		}
+		return pos[a.Node] < pos[b.Node]
+	})
+}
+
+// Top returns the first n entries of a ranked list (or fewer).
+func Top(ranked []Ranked, n int) []Ranked {
+	if len(ranked) < n {
+		return ranked
+	}
+	return ranked[:n]
+}

@@ -1,0 +1,26 @@
+package subtree
+
+import (
+	"omini/internal/tagtree"
+)
+
+// hf is the Highest Fan-out heuristic of Section 4.1, adopted from Embley et
+// al.: the subtree whose root has the most children should contain the
+// records. It fails on chrome-heavy pages whose navigation menus out-fan the
+// result list — which is exactly what GSI and LTC compensate for.
+type hf struct{}
+
+// HF returns the highest fan-out subtree heuristic.
+func HF() Heuristic { return hf{} }
+
+func (hf) Name() string { return "HF" }
+
+func (hf) Rank(root *tagtree.Node) []Ranked {
+	cands := candidates(root)
+	entries := make([]Ranked, len(cands))
+	for i, n := range cands {
+		entries[i] = Ranked{Node: n, Score: float64(n.Fanout())}
+	}
+	sortRanked(entries, order(cands))
+	return entries
+}

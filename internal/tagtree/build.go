@@ -1,0 +1,206 @@
+package tagtree
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"omini/internal/htmlparse"
+	"omini/internal/tidy"
+)
+
+// ErrNoRoot is returned when a token stream contains no tag at all.
+var ErrNoRoot = errors.New("tagtree: document has no tag nodes")
+
+// Parse normalizes src (via package tidy) and builds its tag tree. This is
+// the Phase-1 pipeline of the paper: syntactic normalization followed by tag
+// tree construction.
+func Parse(src string) (*Node, error) {
+	return Build(tidy.NormalizeTokens(src))
+}
+
+// Build constructs a tag tree from a balanced token stream, such as the
+// output of tidy.NormalizeTokens. Whitespace-only text between tags is
+// dropped (it carries no content and would distort nodeSize); all other
+// text becomes content nodes. If the stream has multiple top-level
+// elements, they are wrapped in a synthetic "html" root.
+func Build(toks []htmlparse.Token) (*Node, error) {
+	var roots []*Node
+	var stack []*Node
+
+	appendChild := func(c *Node) {
+		if len(stack) == 0 {
+			roots = append(roots, c)
+			return
+		}
+		p := stack[len(stack)-1]
+		c.Parent = p
+		p.Children = append(p.Children, c)
+	}
+
+	for i := range toks {
+		tok := &toks[i]
+		switch tok.Type {
+		case htmlparse.StartTagToken:
+			n := &Node{Tag: tok.Data, Attrs: tok.Attrs}
+			appendChild(n)
+			stack = append(stack, n)
+		case htmlparse.EndTagToken:
+			// The stream is balanced; pop the matching element. Guard
+			// against malformed input anyway.
+			for len(stack) > 0 {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if top.Tag == tok.Data {
+					break
+				}
+			}
+		case htmlparse.TextToken:
+			text := collapseSpace(tok.Data)
+			if text == "" {
+				continue
+			}
+			appendChild(&Node{Text: text})
+		}
+	}
+
+	var root *Node
+	switch {
+	case len(roots) == 0:
+		return nil, ErrNoRoot
+	case len(roots) == 1 && !roots[0].IsContent():
+		root = roots[0]
+	default:
+		root = &Node{Tag: "html"}
+		for _, r := range roots {
+			r.Parent = root
+			root.Children = append(root.Children, r)
+		}
+	}
+	root.Index = 1
+	root.finalize()
+	return root, nil
+}
+
+// collapseSpace trims text and collapses internal whitespace runs to single
+// spaces, the usual HTML rendering model. Returns "" for whitespace-only
+// input.
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Path returns the dot-notation path expression from the root to n, e.g.
+// "html[1].body[2].form[4]" (the paper's HTML[1].body[2].form[4]).
+// Content nodes are addressed as "#text[i]".
+func Path(n *Node) string {
+	if n == nil {
+		return ""
+	}
+	var parts []string
+	for v := n; v != nil; v = v.Parent {
+		name := v.Tag
+		if v.IsContent() {
+			name = "#text"
+		}
+		parts = append(parts, fmt.Sprintf("%s[%d]", name, v.Index))
+	}
+	// Reverse.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, ".")
+}
+
+// FindPath resolves a dot-notation path expression against the tree rooted
+// at root. The root segment must match the root node. It returns nil when
+// the path does not resolve.
+func FindPath(root *Node, path string) *Node {
+	if root == nil || path == "" {
+		return nil
+	}
+	segs := strings.Split(path, ".")
+	name, idx, ok := parseSeg(segs[0])
+	if !ok || name != root.Tag || idx != root.Index {
+		return nil
+	}
+	cur := root
+	for _, seg := range segs[1:] {
+		name, idx, ok := parseSeg(seg)
+		if !ok || idx < 1 || idx > len(cur.Children) {
+			return nil
+		}
+		child := cur.Children[idx-1]
+		childName := child.Tag
+		if child.IsContent() {
+			childName = "#text"
+		}
+		if childName != name {
+			return nil
+		}
+		cur = child
+	}
+	return cur
+}
+
+// parseSeg splits a path segment "tag[3]" into its name and 1-based index.
+// A segment without brackets implies index 1.
+func parseSeg(seg string) (name string, idx int, ok bool) {
+	open := strings.IndexByte(seg, '[')
+	if open < 0 {
+		return seg, 1, seg != ""
+	}
+	if !strings.HasSuffix(seg, "]") {
+		return "", 0, false
+	}
+	name = seg[:open]
+	numStr := seg[open+1 : len(seg)-1]
+	if name == "" || numStr == "" {
+		return "", 0, false
+	}
+	n := 0
+	for i := 0; i < len(numStr); i++ {
+		c := numStr[i]
+		if c < '0' || c > '9' {
+			return "", 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return name, n, true
+}
+
+// MinimalSubtree returns the minimal subtree (Definition 4) containing all
+// of the given nodes: the deepest node that is an ancestor of every node in
+// the set. It returns nil for an empty set.
+func MinimalSubtree(nodes []*Node) *Node {
+	if len(nodes) == 0 {
+		return nil
+	}
+	anc := nodes[0]
+	for _, n := range nodes[1:] {
+		anc = commonAncestor(anc, n)
+		if anc == nil {
+			return nil
+		}
+	}
+	return anc
+}
+
+// commonAncestor returns the deepest common ancestor of a and b.
+func commonAncestor(a, b *Node) *Node {
+	da, db := a.Depth(), b.Depth()
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		a, b = a.Parent, b.Parent
+		if a == nil || b == nil {
+			return nil
+		}
+	}
+	return a
+}

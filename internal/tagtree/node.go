@@ -1,0 +1,193 @@
+// Package tagtree implements the tag tree model of the paper's Section 2.2:
+// a well-formed web document as a directed tree whose internal nodes are tag
+// nodes and whose leaves are content nodes, together with the node metrics
+// (fanout, nodeSize, subtreeSize, tagCount) and dot-notation path
+// expressions (HTML[1].body[2].form[4]) the extraction heuristics consume.
+package tagtree
+
+import (
+	"omini/internal/htmlparse"
+)
+
+// Node is a node of a tag tree. A node is either a tag node (Tag != "") or a
+// content node (Tag == "", Text holds the content). Trees are immutable
+// after construction; the size and count metrics are computed once by the
+// builder and served from cache.
+type Node struct {
+	// Tag is the lower-case tag name, or "" for a content node.
+	Tag string
+	// Text is the content of a content node; empty for tag nodes.
+	Text string
+	// Attrs are the tag attributes in document order (tag nodes only).
+	Attrs []htmlparse.Attr
+	// Parent is the parent node, nil at the root.
+	Parent *Node
+	// Children are the child nodes in document order.
+	Children []*Node
+	// Index is the 1-based position of this node among its parent's
+	// children, as used in path expressions; 1 for the root.
+	Index int
+
+	nodeSize int
+	tagCount int
+}
+
+// IsContent reports whether n is a content (leaf) node.
+func (n *Node) IsContent() bool { return n.Tag == "" }
+
+// Fanout returns the number of children of n (0 for content nodes), the
+// fanout(u) of the paper.
+func (n *Node) Fanout() int { return len(n.Children) }
+
+// NodeSize returns the content size of n in bytes: the length of the text
+// for a content node, and the sum of the leaf content sizes reachable from n
+// for a tag node — the nodeSize(u) of the paper.
+func (n *Node) NodeSize() int { return n.nodeSize }
+
+// SubtreeSize returns the size of the subtree anchored at n. By the paper's
+// definition, subtreeSize(u) = nodeSize(u).
+func (n *Node) SubtreeSize() int { return n.nodeSize }
+
+// TagCount returns the number of nodes in the subtree anchored at n,
+// counting n itself — the tagCount(u) of the paper (leaves count 1).
+func (n *Node) TagCount() int { return n.tagCount }
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// IsAncestorOf reports whether there is a path n ==>* v, including n == v
+// (the reflexive paths of the paper's Definition 2).
+func (n *Node) IsAncestorOf(v *Node) bool {
+	for v != nil {
+		if v == n {
+			return true
+		}
+		v = v.Parent
+	}
+	return false
+}
+
+// Depth returns the number of edges from the root to n.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Walk visits every node of the subtree anchored at n in document order
+// (pre-order). It stops early if fn returns false for a node, skipping that
+// node's descendants.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// TagNodes returns every tag node in the subtree anchored at n, in document
+// order, including n itself if it is a tag node. These are the candidate
+// anchors for the subtree heuristics.
+func (n *Node) TagNodes() []*Node {
+	nodes := make([]*Node, 0, n.tagCount)
+	n.Walk(func(v *Node) bool {
+		if !v.IsContent() {
+			nodes = append(nodes, v)
+		}
+		return true
+	})
+	return nodes
+}
+
+// ChildTags returns the tag-node children of n in document order.
+func (n *Node) ChildTags() []*Node {
+	out := make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		if !c.IsContent() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ChildTagCounts returns, for each tag name appearing among n's children,
+// the number of children with that name.
+func (n *Node) ChildTagCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, c := range n.Children {
+		if !c.IsContent() {
+			counts[c.Tag]++
+		}
+	}
+	return counts
+}
+
+// MaxChildTagCount returns the highest appearance count of any child tag of
+// n, and the tag that attains it (ties broken by document order of first
+// appearance). Used by the LTC re-ranking step.
+func (n *Node) MaxChildTagCount() (string, int) {
+	counts := make(map[string]int)
+	bestTag, best := "", 0
+	for _, c := range n.Children {
+		if c.IsContent() {
+			continue
+		}
+		counts[c.Tag]++
+		if counts[c.Tag] > best {
+			best = counts[c.Tag]
+			bestTag = c.Tag
+		}
+	}
+	return bestTag, best
+}
+
+// Text nodes reachable from n, concatenated. Useful for object rendering.
+func (n *Node) InnerText() string {
+	var buf []byte
+	n.Walk(func(v *Node) bool {
+		if v.IsContent() {
+			buf = append(buf, v.Text...)
+		}
+		return true
+	})
+	return string(buf)
+}
+
+// FindAll returns every tag node with the given name in the subtree
+// anchored at n, in document order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(v *Node) bool {
+		if v.Tag == tag {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// finalize computes the cached metrics for the subtree anchored at n and
+// assigns child indexes. Called once by the builder.
+func (n *Node) finalize() {
+	if n.IsContent() {
+		n.nodeSize = len(n.Text)
+		n.tagCount = 1
+		return
+	}
+	n.nodeSize = 0
+	n.tagCount = 1
+	for i, c := range n.Children {
+		c.Index = i + 1
+		c.finalize()
+		n.nodeSize += c.nodeSize
+		n.tagCount += c.tagCount
+	}
+}

@@ -1,0 +1,94 @@
+package tagtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderOptions control the ASCII rendering of a tag tree.
+type RenderOptions struct {
+	// MaxDepth limits rendering depth; 0 means unlimited.
+	MaxDepth int
+	// ShowText includes (truncated) content nodes.
+	ShowText bool
+	// ShowMetrics annotates each tag node with fanout/size/tagCount.
+	ShowMetrics bool
+	// TextLimit truncates rendered content to this many bytes (default 32).
+	TextLimit int
+}
+
+// Render draws the subtree anchored at n as an indented ASCII tree, in the
+// style of the paper's Figures 1, 2 and 5.
+func Render(n *Node, opts RenderOptions) string {
+	if opts.TextLimit == 0 {
+		opts.TextLimit = 32
+	}
+	var b strings.Builder
+	render(&b, n, "", true, 0, &opts)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *Node, prefix string, last bool, depth int, opts *RenderOptions) {
+	connector := "+- "
+	if depth == 0 {
+		connector = ""
+	} else if !last {
+		connector = "|- "
+	}
+	b.WriteString(prefix)
+	b.WriteString(connector)
+	if n.IsContent() {
+		text := n.Text
+		if len(text) > opts.TextLimit {
+			text = text[:opts.TextLimit] + "..."
+		}
+		fmt.Fprintf(b, "%q\n", text)
+		return
+	}
+	b.WriteString(n.Tag)
+	if opts.ShowMetrics {
+		fmt.Fprintf(b, " (fanout=%d size=%d tags=%d)", n.Fanout(), n.NodeSize(), n.TagCount())
+	}
+	b.WriteByte('\n')
+	if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+		return
+	}
+	childPrefix := prefix
+	if depth > 0 {
+		if last {
+			childPrefix += "   "
+		} else {
+			childPrefix += "|  "
+		}
+	}
+	kids := n.Children
+	if !opts.ShowText {
+		kids = n.ChildTags()
+	}
+	for i, c := range kids {
+		render(b, c, childPrefix, i == len(kids)-1, depth+1, opts)
+	}
+}
+
+// Outline returns a compact single-line summary of n's children by tag,
+// e.g. "form: table x13, map x1" — handy in experiment reports.
+func Outline(n *Node) string {
+	var b strings.Builder
+	b.WriteString(n.Tag)
+	b.WriteString(":")
+	counts := make(map[string]int)
+	var order []string
+	for _, c := range n.ChildTags() {
+		if counts[c.Tag] == 0 {
+			order = append(order, c.Tag)
+		}
+		counts[c.Tag]++
+	}
+	for i, tag := range order {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " %s x%d", tag, counts[tag])
+	}
+	return b.String()
+}

@@ -1,0 +1,349 @@
+package tagtree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A CSS-flavored selector language over tag trees, the ergonomic layer a
+// downstream consumer expects from an HTML toolkit (this repository's
+// substitute for goquery-style traversal). The dialect covers what result
+// pages need:
+//
+//	table tr            descendant combinator
+//	form > table        child combinator
+//	div.card            class attribute shorthand
+//	td#results          id attribute shorthand
+//	a[href]             attribute presence
+//	a[rel=next]         attribute equality
+//	tr:nth(2)           the n-th match among its siblings (1-based)
+//	*                   any tag
+//
+// Selectors are compiled once and matched against subtrees; Select is the
+// one-call convenience.
+
+// Selector is a compiled selector expression.
+type Selector struct {
+	steps []selStep
+	src   string
+}
+
+// selStep is one compound selector plus the combinator that attaches it to
+// the previous step.
+type selStep struct {
+	child bool // true: '>' child combinator; false: descendant
+	simple
+}
+
+// simple is a compound simple-selector: tag plus attribute constraints.
+type simple struct {
+	tag   string // "" or "*" matches any tag
+	attrs []attrCond
+	nth   int // 0 = any; else 1-based index among sibling matches
+}
+
+type attrCond struct {
+	name  string
+	value string
+	eq    bool // true: must equal value; false: presence only
+}
+
+// Compile parses a selector expression.
+func Compile(expr string) (*Selector, error) {
+	fields := strings.Fields(expr)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("tagtree: empty selector")
+	}
+	sel := &Selector{src: expr}
+	child := false
+	for _, f := range fields {
+		if f == ">" {
+			if child || len(sel.steps) == 0 {
+				return nil, fmt.Errorf("tagtree: misplaced '>' in %q", expr)
+			}
+			child = true
+			continue
+		}
+		s, err := parseSimple(f)
+		if err != nil {
+			return nil, err
+		}
+		sel.steps = append(sel.steps, selStep{child: child, simple: s})
+		child = false
+	}
+	if child {
+		return nil, fmt.Errorf("tagtree: dangling '>' in %q", expr)
+	}
+	return sel, nil
+}
+
+// MustCompile is Compile for selectors known valid at build time.
+func MustCompile(expr string) *Selector {
+	sel, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return sel
+}
+
+// String returns the source expression.
+func (s *Selector) String() string { return s.src }
+
+// parseSimple parses one compound selector like "div.card[align=left]:nth(2)".
+func parseSimple(f string) (simple, error) {
+	var s simple
+	i := 0
+	for i < len(f) && f[i] != '.' && f[i] != '#' && f[i] != '[' && f[i] != ':' {
+		i++
+	}
+	s.tag = strings.ToLower(f[:i])
+	if s.tag == "*" {
+		s.tag = ""
+	} else if !validTagName(s.tag) {
+		return s, fmt.Errorf("tagtree: bad tag name in selector %q", f)
+	}
+	for i < len(f) {
+		switch f[i] {
+		case '.':
+			j := i + 1
+			for j < len(f) && f[j] != '.' && f[j] != '#' && f[j] != '[' && f[j] != ':' {
+				j++
+			}
+			if j == i+1 {
+				return s, fmt.Errorf("tagtree: empty class in %q", f)
+			}
+			s.attrs = append(s.attrs, attrCond{name: "class", value: f[i+1 : j], eq: true})
+			i = j
+		case '#':
+			j := i + 1
+			for j < len(f) && f[j] != '.' && f[j] != '#' && f[j] != '[' && f[j] != ':' {
+				j++
+			}
+			if j == i+1 {
+				return s, fmt.Errorf("tagtree: empty id in %q", f)
+			}
+			s.attrs = append(s.attrs, attrCond{name: "id", value: f[i+1 : j], eq: true})
+			i = j
+		case '[':
+			end := strings.IndexByte(f[i:], ']')
+			if end < 0 {
+				return s, fmt.Errorf("tagtree: unterminated '[' in %q", f)
+			}
+			body := f[i+1 : i+end]
+			if eq := strings.IndexByte(body, '='); eq >= 0 {
+				s.attrs = append(s.attrs, attrCond{
+					name:  strings.ToLower(body[:eq]),
+					value: strings.Trim(body[eq+1:], `"'`),
+					eq:    true,
+				})
+			} else if body != "" {
+				s.attrs = append(s.attrs, attrCond{name: strings.ToLower(body)})
+			} else {
+				return s, fmt.Errorf("tagtree: empty attribute selector in %q", f)
+			}
+			i += end + 1
+		case ':':
+			rest := f[i:]
+			if !strings.HasPrefix(rest, ":nth(") {
+				return s, fmt.Errorf("tagtree: unsupported pseudo-class in %q", f)
+			}
+			end := strings.IndexByte(rest, ')')
+			if end < 0 {
+				return s, fmt.Errorf("tagtree: unterminated :nth in %q", f)
+			}
+			n, err := strconv.Atoi(rest[5:end])
+			if err != nil || n < 1 {
+				return s, fmt.Errorf("tagtree: bad :nth argument in %q", f)
+			}
+			s.nth = n
+			i += end + 1
+		default:
+			return s, fmt.Errorf("tagtree: unexpected %q in selector %q", f[i], f)
+		}
+	}
+	return s, nil
+}
+
+// matchesSimple reports whether node n satisfies the compound selector,
+// ignoring the nth constraint (applied by the matcher across siblings).
+func (s *simple) matchesSimple(n *Node) bool {
+	if n.IsContent() {
+		return false
+	}
+	if s.tag != "" && n.Tag != s.tag {
+		return false
+	}
+	for _, c := range s.attrs {
+		got, ok := nodeAttr(n, c.name)
+		if !ok {
+			return false
+		}
+		if c.eq {
+			if c.name == "class" {
+				if !hasClass(got, c.value) {
+					return false
+				}
+			} else if got != c.value {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Match returns every node in the subtree anchored at root satisfying the
+// selector, in document order. The root itself can match only a
+// single-step selector.
+func (s *Selector) Match(root *Node) []*Node {
+	if root == nil {
+		return nil
+	}
+	// matched[i] holds nodes satisfying steps[0..i].
+	cur := s.matchStep(root, &s.steps[0], true)
+	for i := 1; i < len(s.steps); i++ {
+		step := &s.steps[i]
+		var next []*Node
+		seen := make(map[*Node]bool)
+		for _, base := range cur {
+			for _, m := range s.matchStep(base, step, false) {
+				if !seen[m] {
+					seen[m] = true
+					next = append(next, m)
+				}
+			}
+		}
+		cur = sortDocOrder(root, next)
+	}
+	return cur
+}
+
+// First returns the first match in document order, or nil.
+func (s *Selector) First(root *Node) *Node {
+	// Matching everything then taking the head is acceptable: pages are
+	// small and Match already walks the tree once per step.
+	if ms := s.Match(root); len(ms) > 0 {
+		return ms[0]
+	}
+	return nil
+}
+
+// matchStep finds nodes under base satisfying one step. includeSelf allows
+// base itself to match (only for the first step). For a child step only
+// direct children are inspected; otherwise all descendants.
+func (s *Selector) matchStep(base *Node, step *selStep, includeSelf bool) []*Node {
+	var raw []*Node
+	if step.child {
+		for _, c := range base.Children {
+			if step.matchesSimple(c) {
+				raw = append(raw, c)
+			}
+		}
+	} else {
+		base.Walk(func(n *Node) bool {
+			if n == base && !includeSelf {
+				return true
+			}
+			if step.matchesSimple(n) {
+				raw = append(raw, n)
+			}
+			return true
+		})
+	}
+	if step.nth == 0 {
+		return raw
+	}
+	// nth filters among matching siblings: group by parent.
+	count := make(map[*Node]int)
+	var out []*Node
+	for _, n := range raw {
+		count[n.Parent]++
+		if count[n.Parent] == step.nth {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sortDocOrder orders nodes by document position under root.
+func sortDocOrder(root *Node, nodes []*Node) []*Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	pos := make(map[*Node]int, len(nodes))
+	want := make(map[*Node]bool, len(nodes))
+	for _, n := range nodes {
+		want[n] = true
+	}
+	i := 0
+	root.Walk(func(n *Node) bool {
+		if want[n] {
+			pos[n] = i
+		}
+		i++
+		return true
+	})
+	out := make([]*Node, len(nodes))
+	copy(out, nodes)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && pos[out[j]] < pos[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Select compiles expr and returns its matches under root.
+func Select(root *Node, expr string) ([]*Node, error) {
+	sel, err := Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return sel.Match(root), nil
+}
+
+// SelectFirst compiles expr and returns the first match, or nil.
+func SelectFirst(root *Node, expr string) (*Node, error) {
+	sel, err := Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return sel.First(root), nil
+}
+
+// validTagName accepts HTML/XML-ish tag names ("" means wildcard and is
+// validated by the caller).
+func validTagName(tag string) bool {
+	if tag == "" {
+		return false
+	}
+	for i := 0; i < len(tag); i++ {
+		c := tag[i]
+		switch {
+		case 'a' <= c && c <= 'z', '0' <= c && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// nodeAttr returns the named attribute of a tag node.
+func nodeAttr(n *Node, name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// hasClass reports whether the space-separated class list contains c.
+func hasClass(classAttr, c string) bool {
+	for _, f := range strings.Fields(classAttr) {
+		if f == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,206 @@
+package tagtree
+
+import (
+	"strings"
+	"testing"
+)
+
+const selectDoc = `<html><head><title>t</title></head><body>
+<div class="nav top"><a href="/">Home</a><a href="/help">Help</a></div>
+<form action="/s" id="results">
+  <table width="100%"><tr><td><a href="/r/1" rel="bookmark">one</a></td></tr></table>
+  <table width="100%"><tr><td><a href="/r/2">two</a></td></tr></table>
+  <table class="ad"><tr><td>sponsored</td></tr></table>
+</form>
+<p><a href="/next" rel="next">Next</a></p>
+</body></html>`
+
+func selRoot(t *testing.T) *Node {
+	t.Helper()
+	return mustParse(t, selectDoc)
+}
+
+func texts(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = strings.TrimSpace(n.InnerText())
+	}
+	return out
+}
+
+func TestSelectDescendant(t *testing.T) {
+	root := selRoot(t)
+	nodes, err := Select(root, "form a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(nodes); len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Errorf("form a = %v", got)
+	}
+}
+
+func TestSelectChildCombinator(t *testing.T) {
+	root := selRoot(t)
+	// Direct table children of the form: 3 (including the ad).
+	nodes, err := Select(root, "form > table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Errorf("form > table = %d nodes", len(nodes))
+	}
+	// But body > table matches nothing (tables sit inside the form).
+	nodes, err = Select(root, "body > table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 0 {
+		t.Errorf("body > table = %d nodes, want 0", len(nodes))
+	}
+}
+
+func TestSelectClassAndID(t *testing.T) {
+	root := selRoot(t)
+	nodes, err := Select(root, "div.nav a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("div.nav a = %d", len(nodes))
+	}
+	// Multi-class attribute: .top also matches.
+	if n, err := SelectFirst(root, "div.top"); err != nil || n == nil {
+		t.Errorf("div.top = %v, %v", n, err)
+	}
+	form, err := SelectFirst(root, "form#results")
+	if err != nil || form == nil || form.Tag != "form" {
+		t.Fatalf("form#results = %v, %v", form, err)
+	}
+	if n, _ := SelectFirst(root, "form#nope"); n != nil {
+		t.Error("form#nope matched")
+	}
+	if n, _ := SelectFirst(root, "table.ad"); n == nil {
+		t.Error("table.ad missed")
+	}
+}
+
+func TestSelectAttributes(t *testing.T) {
+	root := selRoot(t)
+	// Presence.
+	nodes, err := Select(root, "a[rel]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("a[rel] = %d, want 2", len(nodes))
+	}
+	// Equality.
+	n, err := SelectFirst(root, "a[rel=next]")
+	if err != nil || n == nil {
+		t.Fatalf("a[rel=next] = %v, %v", n, err)
+	}
+	if href, _ := nodeAttr(n, "href"); href != "/next" {
+		t.Errorf("href = %q", href)
+	}
+	// Quoted value.
+	if n, err := SelectFirst(root, `a[rel="next"]`); err != nil || n == nil {
+		t.Errorf("quoted attr failed: %v, %v", n, err)
+	}
+}
+
+func TestSelectWildcardAndNth(t *testing.T) {
+	root := selRoot(t)
+	all, err := Select(root, "form *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range all {
+		if n.IsContent() {
+			t.Fatal("wildcard matched a content node")
+		}
+	}
+	second, err := SelectFirst(root, "form > table:nth(2)")
+	if err != nil || second == nil {
+		t.Fatalf("nth(2) = %v, %v", second, err)
+	}
+	if !strings.Contains(second.InnerText(), "two") {
+		t.Errorf("nth(2) text = %q", second.InnerText())
+	}
+	if n, _ := SelectFirst(root, "form > table:nth(9)"); n != nil {
+		t.Error("nth(9) matched")
+	}
+}
+
+func TestSelectDocumentOrderAndDedup(t *testing.T) {
+	root := selRoot(t)
+	// "body a" via multiple ancestor paths must not duplicate matches.
+	nodes, err := Select(root, "body a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[*Node]bool)
+	for _, n := range nodes {
+		if seen[n] {
+			t.Fatal("duplicate match")
+		}
+		seen[n] = true
+	}
+	got := texts(nodes)
+	want := []string{"Home", "Help", "one", "two", "Next"}
+	if len(got) != len(want) {
+		t.Fatalf("body a = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("match %d = %q, want %q (document order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelectorReuse(t *testing.T) {
+	sel := MustCompile("form > table")
+	root := selRoot(t)
+	if len(sel.Match(root)) != 3 {
+		t.Error("first use failed")
+	}
+	if len(sel.Match(root)) != 3 {
+		t.Error("selector not reusable")
+	}
+	if sel.String() != "form > table" {
+		t.Errorf("String = %q", sel.String())
+	}
+	if sel.First(nil) != nil {
+		t.Error("First(nil) non-nil")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, expr := range []string{
+		"", ">", "a >", "> a", "a > > b", "div.", "div#", "a[", "a[]",
+		"tr:nth(0)", "tr:nth(x)", "tr:nth(2", "a:hover", "di%v",
+	} {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile on bad input did not panic")
+		}
+	}()
+	MustCompile(">")
+}
+
+func TestSelectCaseInsensitiveTags(t *testing.T) {
+	root := selRoot(t)
+	nodes, err := Select(root, "FORM A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("uppercase selector = %d matches", len(nodes))
+	}
+}

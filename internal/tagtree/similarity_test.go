@@ -1,0 +1,145 @@
+package tagtree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimilarityIdenticalStructure(t *testing.T) {
+	a := mustParse(t, `<html><body><ul><li>first thing</li><li>second thing</li></ul></body></html>`)
+	b := mustParse(t, `<html><body><ul><li>totally different</li><li>words here</li></ul></body></html>`)
+	if got := Similarity(a, b); got != 1 {
+		t.Errorf("same-structure similarity = %v, want 1", got)
+	}
+}
+
+func TestSimilaritySelf(t *testing.T) {
+	root := mustParse(t, simpleDoc)
+	if got := Similarity(root, root); got != 1 {
+		t.Errorf("self similarity = %v", got)
+	}
+}
+
+func TestSimilarityDisjointStructure(t *testing.T) {
+	a := mustParse(t, `<html><body><ul><li>a</li></ul></body></html>`)
+	b := mustParse(t, `<html><body><dl><dt>a</dt><dd>b</dd></dl></body></html>`)
+	got := Similarity(a, b)
+	// html and body paths are shared; the rest is disjoint.
+	if got <= 0 || got >= 0.8 {
+		t.Errorf("disjoint-layout similarity = %v, want low but nonzero", got)
+	}
+}
+
+func TestSimilarityGrowsWithSharedRows(t *testing.T) {
+	base := mustParse(t, `<html><body><table><tr><td>a</td></tr><tr><td>b</td></tr></table></body></html>`)
+	more := mustParse(t, `<html><body><table><tr><td>a</td></tr><tr><td>b</td></tr><tr><td>c</td></tr></table></body></html>`)
+	redesign := mustParse(t, `<html><body><div><p>a</p><p>b</p></div></body></html>`)
+	if Similarity(base, more) <= Similarity(base, redesign) {
+		t.Errorf("row-count change (%v) not closer than redesign (%v)",
+			Similarity(base, more), Similarity(base, redesign))
+	}
+}
+
+func TestPathSignatureCounts(t *testing.T) {
+	root := mustParse(t, `<html><body><ul><li>a</li><li>b</li><li>c</li></ul></body></html>`)
+	sig := PathSignature(root)
+	if sig["html"] != 1 || sig["html.body"] != 1 || sig["html.body.ul"] != 1 {
+		t.Errorf("structural paths wrong: %v", sig)
+	}
+	if sig["html.body.ul.li"] != 3 {
+		t.Errorf("li multiplicity = %d, want 3", sig["html.body.ul.li"])
+	}
+	if PathSignature(nil) == nil {
+		t.Error("nil node should give an empty, non-nil signature")
+	}
+	if got := len(PathSignature(nil)); got != 0 {
+		t.Errorf("nil node signature has %d entries", got)
+	}
+}
+
+func TestSignatureSimilarityEdgeCases(t *testing.T) {
+	empty := Signature{}
+	if got := empty.Similarity(Signature{}); got != 1 {
+		t.Errorf("empty vs empty = %v, want 1", got)
+	}
+	some := Signature{"html": 1}
+	if got := empty.Similarity(some); got != 0 {
+		t.Errorf("empty vs nonempty = %v, want 0", got)
+	}
+	if got := some.Similarity(empty); got != 0 {
+		t.Errorf("nonempty vs empty = %v, want 0", got)
+	}
+}
+
+// Properties: similarity is symmetric and bounded in [0,1].
+func TestSimilarityProperties(t *testing.T) {
+	mk := func(counts []uint8) Signature {
+		sig := make(Signature)
+		for i, c := range counts {
+			if c > 0 {
+				sig[string(rune('a'+i%16))] = int(c%7) + 1
+			}
+		}
+		return sig
+	}
+	f := func(a, b []uint8) bool {
+		sa, sb := mk(a), mk(b)
+		ab := sa.Similarity(sb)
+		ba := sb.Similarity(sa)
+		return ab == ba && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootAndTagNodes(t *testing.T) {
+	root := mustParse(t, simpleDoc)
+	pre := root.FindAll("pre")[0]
+	if pre.Root() != root {
+		t.Error("Root from deep node did not reach the root")
+	}
+	if root.Root() != root {
+		t.Error("Root of root is not itself")
+	}
+	nodes := root.TagNodes()
+	for _, n := range nodes {
+		if n.IsContent() {
+			t.Fatal("TagNodes returned a content node")
+		}
+	}
+	// simpleDoc: html, head, title, body, h1, hr x2, pre x2 = 9 tag nodes.
+	if len(nodes) != 9 {
+		t.Errorf("TagNodes = %d, want 9", len(nodes))
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	root := mustParse(t, simpleDoc)
+	visited := 0
+	root.Walk(func(n *Node) bool {
+		visited++
+		return n.Tag != "head" // skip head's subtree
+	})
+	sawTitle := false
+	root.Walk(func(n *Node) bool {
+		if n.Tag == "title" {
+			sawTitle = true
+		}
+		return n.Tag != "head"
+	})
+	if sawTitle {
+		t.Error("Walk descended into a pruned subtree")
+	}
+	if visited == 0 {
+		t.Error("Walk visited nothing")
+	}
+}
+
+func TestMinimalSubtreeDisjointTrees(t *testing.T) {
+	a := mustParse(t, `<html><body><p>x</p></body></html>`)
+	b := mustParse(t, `<html><body><p>y</p></body></html>`)
+	if got := MinimalSubtree([]*Node{a.FindAll("p")[0], b.FindAll("p")[0]}); got != nil {
+		t.Errorf("common ancestor across disjoint trees = %v", got)
+	}
+}

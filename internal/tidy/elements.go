@@ -1,0 +1,100 @@
+package tidy
+
+// This file encodes the HTML element knowledge the normalizer needs: which
+// elements are void (never have content), which closures are implied by a
+// new start tag (the <li><li> and <td><td> patterns of 2000-era HTML), and
+// which ancestors bound those implied closures.
+
+// voidElements never take content; their end tags are synthesized
+// immediately, per the well-formedness rules of the paper's Section 2.1
+// ("<BR> will be denoted by <BR></BR>").
+var voidElements = map[string]bool{
+	"area":     true,
+	"base":     true,
+	"basefont": true,
+	"br":       true,
+	"col":      true,
+	"embed":    true,
+	"frame":    true,
+	"hr":       true,
+	"img":      true,
+	"input":    true,
+	"isindex":  true,
+	"link":     true,
+	"meta":     true,
+	"param":    true,
+	"source":   true,
+	"spacer":   true,
+	"wbr":      true,
+}
+
+// IsVoid reports whether the named element is a void element.
+func IsVoid(name string) bool { return voidElements[name] }
+
+// closedBy maps an open element to the set of start tags that implicitly
+// close it. For example an open "li" is closed by a new "li"; an open "td"
+// is closed by "td", "th" or "tr".
+var closedBy = map[string]map[string]bool{
+	"p": {
+		"p": true, "div": true, "table": true, "ul": true, "ol": true,
+		"dl": true, "li": true, "blockquote": true, "pre": true, "form": true,
+		"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+		"hr": true, "center": true, "address": true,
+	},
+	"li":       {"li": true},
+	"dt":       {"dt": true, "dd": true},
+	"dd":       {"dt": true, "dd": true},
+	"tr":       {"tr": true},
+	"td":       {"td": true, "th": true, "tr": true},
+	"th":       {"td": true, "th": true, "tr": true},
+	"thead":    {"tbody": true, "tfoot": true},
+	"tbody":    {"tbody": true, "tfoot": true},
+	"tfoot":    {"tbody": true},
+	"option":   {"option": true, "optgroup": true},
+	"optgroup": {"optgroup": true},
+	"colgroup": {
+		"tr": true, "td": true, "th": true, "thead": true, "tbody": true,
+		"tfoot": true, "colgroup": true,
+	},
+	"head": {"body": true},
+}
+
+// closeScopeBoundary bounds the upward search for an element to implicitly
+// close: when looking for an open "li" to close we must not cross a nested
+// "ul"/"ol". Keys are the elements being closed.
+var closeScopeBoundary = map[string]map[string]bool{
+	"li":     {"ul": true, "ol": true, "menu": true, "dir": true},
+	"dt":     {"dl": true},
+	"dd":     {"dl": true},
+	"tr":     {"table": true},
+	"td":     {"table": true, "tr": true},
+	"th":     {"table": true, "tr": true},
+	"thead":  {"table": true},
+	"tbody":  {"table": true},
+	"tfoot":  {"table": true},
+	"option": {"select": true},
+	"p":      {"td": true, "th": true, "table": true, "body": true},
+}
+
+// formatTags are inline formatting elements that participate in overlap
+// repair: for input like <b>bold <i>both</b> italic</i> the normalizer
+// closes and reopens the inline element instead of producing an overlap.
+var formatTags = map[string]bool{
+	"a": true, "b": true, "big": true, "em": true, "font": true, "i": true,
+	"s": true, "small": true, "strike": true, "strong": true, "tt": true,
+	"u": true,
+}
+
+// implicitClose reports whether an incoming start tag implicitly closes the
+// given open element.
+func implicitClose(open, incoming string) bool {
+	set, ok := closedBy[open]
+	return ok && set[incoming]
+}
+
+// boundsClose reports whether element bound stops the search for an open
+// element named target during implicit closing or end-tag matching.
+func boundsClose(target, bound string) bool {
+	set, ok := closeScopeBoundary[target]
+	return ok && set[bound]
+}

@@ -1,0 +1,107 @@
+package wrapgen
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Record post-processing: aggregation servers normalize wrapper output
+// before fusing it with other sources — absolute URLs, trimmed text,
+// parsed prices.
+
+// URLFields returns the names of the wrapper's link-valued fields (href
+// and src projections).
+func (w *Wrapper) URLFields() []string {
+	var names []string
+	for _, f := range w.Fields {
+		if f.Attr == "href" || f.Attr == "src" {
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
+
+// ResolveURLs rewrites every link-valued field of the records to an
+// absolute URL against base (the page's own URL). Unparseable values are
+// left untouched.
+func (w *Wrapper) ResolveURLs(records []Record, base string) error {
+	baseURL, err := url.Parse(base)
+	if err != nil {
+		return fmt.Errorf("wrapgen: parse base url %q: %w", base, err)
+	}
+	fields := w.URLFields()
+	for _, rec := range records {
+		for _, name := range fields {
+			val, ok := rec[name]
+			if !ok || val == "" {
+				continue
+			}
+			ref, err := url.Parse(val)
+			if err != nil {
+				continue
+			}
+			rec[name] = baseURL.ResolveReference(ref).String()
+		}
+	}
+	return nil
+}
+
+// CleanRecords trims and collapses whitespace in every text field of the
+// records, in place.
+func CleanRecords(records []Record) {
+	for _, rec := range records {
+		for k, v := range rec {
+			rec[k] = collapse(v)
+		}
+	}
+}
+
+func collapse(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Price extracts the first price-like token ("$12.95", "$1,204.00",
+// "12.95") from the record field and returns its numeric value in cents,
+// or ok=false when the field holds no price.
+func (r Record) Price(field string) (cents int64, ok bool) {
+	s := r[field]
+	for i := 0; i < len(s); i++ {
+		if s[i] != '$' && !isDigit(s[i]) {
+			continue
+		}
+		j := i
+		if s[j] == '$' {
+			j++
+		}
+		start := j
+		var whole int64
+		digits := 0
+		for j < len(s) && (isDigit(s[j]) || s[j] == ',') {
+			if s[j] != ',' {
+				whole = whole*10 + int64(s[j]-'0')
+				digits++
+			}
+			j++
+		}
+		if digits == 0 || digits > 12 {
+			i = j
+			continue
+		}
+		cents := whole * 100
+		if j+2 < len(s) && s[j] == '.' && isDigit(s[j+1]) && isDigit(s[j+2]) {
+			cents += int64(s[j+1]-'0')*10 + int64(s[j+2]-'0')
+			j += 3
+		} else if s[i] != '$' {
+			// A bare integer without cents or a currency mark is too
+			// ambiguous to call a price.
+			i = j
+			continue
+		}
+		_ = start
+		return cents, true
+	}
+	return 0, false
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,128 @@
+package wrapgen
+
+import (
+	"strings"
+	"testing"
+
+	"omini/internal/sitegen"
+)
+
+func TestResolveURLs(t *testing.T) {
+	page := sitegen.Canoe()
+	w, err := Learn(page.Site, page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := w.Extract(page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ResolveURLs(records, "http://www.canoe.com/search?q=x"); err != nil {
+		t.Fatalf("ResolveURLs: %v", err)
+	}
+	for i, rec := range records {
+		if !strings.HasPrefix(rec["url"], "http://www.canoe.com/cnews/") {
+			t.Errorf("record %d url = %q, want absolute", i, rec["url"])
+		}
+		if !strings.HasPrefix(rec["image"], "http://www.canoe.com/img/") {
+			t.Errorf("record %d image = %q, want absolute", i, rec["image"])
+		}
+	}
+	if err := w.ResolveURLs(records, "http://bad url with space"); err == nil {
+		t.Error("bad base URL accepted")
+	}
+}
+
+func TestURLFields(t *testing.T) {
+	page := sitegen.Canoe()
+	w, err := Learn(page.Site, page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := w.URLFields()
+	want := map[string]bool{"url": false, "image": false}
+	for _, name := range fields {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("URLFields missing %q: %v", name, fields)
+		}
+	}
+}
+
+func TestCleanRecords(t *testing.T) {
+	records := []Record{
+		{"title": "  spaced   out\n title ", "desc": "fine"},
+	}
+	CleanRecords(records)
+	if records[0]["title"] != "spaced out title" {
+		t.Errorf("title = %q", records[0]["title"])
+	}
+	if records[0]["desc"] != "fine" {
+		t.Errorf("desc = %q", records[0]["desc"])
+	}
+}
+
+func TestRecordPrice(t *testing.T) {
+	tests := []struct {
+		name      string
+		give      string
+		wantCents int64
+		wantOK    bool
+	}{
+		{"dollars and cents", "list $12.95 today", 1295, true},
+		{"thousands", "$1,204.00", 120400, true},
+		{"dollar no cents", "$15 shipped", 1500, true},
+		{"bare decimal", "weighs 12.95 pounds", 1295, true},
+		{"bare integer rejected", "take 12 with you", 0, false},
+		{"no price", "no numbers here", 0, false},
+		{"empty", "", 0, false},
+		{"price after text", "by Okafor, Lindqvist $46.72", 4672, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rec := Record{"f": tt.give}
+			cents, ok := rec.Price("f")
+			if ok != tt.wantOK || cents != tt.wantCents {
+				t.Errorf("Price(%q) = %d, %v; want %d, %v",
+					tt.give, cents, ok, tt.wantCents, tt.wantOK)
+			}
+		})
+	}
+	if _, ok := (Record{}).Price("missing"); ok {
+		t.Error("Price on missing field succeeded")
+	}
+}
+
+func TestPriceOnCorpusRecords(t *testing.T) {
+	// Bookstore records carry real prices the accessor must parse.
+	var spec sitegen.SiteSpec
+	spec = sitegen.SiteSpec{
+		Name: "prices.example", Domain: sitegen.DomainBooks,
+		LayoutName: "row-table", MinItems: 8, MaxItems: 8,
+	}
+	page := spec.Page(0)
+	w, err := Learn(spec.Name, page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := w.Extract(page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priced := 0
+	for _, rec := range records {
+		for field := range rec {
+			if cents, ok := rec.Price(field); ok && cents > 0 {
+				priced++
+				break
+			}
+		}
+	}
+	if priced < len(records) {
+		t.Errorf("only %d/%d records yielded a price", priced, len(records))
+	}
+}

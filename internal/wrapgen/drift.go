@@ -1,0 +1,52 @@
+package wrapgen
+
+import (
+	"omini/internal/tagtree"
+)
+
+// Wrapper evolution: detecting when a site's structure has drifted from
+// the page a wrapper was learned on, so the wrapper can be relearned
+// before it starts mis-extracting (the paper's "wrapper generation and
+// evolution process").
+
+// DefaultDriftThreshold is the similarity below which a page no longer
+// resembles the wrapper's training page. Content changes leave similarity
+// at 1.0; adding or removing a couple of chrome blocks keeps it above 0.8;
+// a layout redesign drops it far lower.
+const DefaultDriftThreshold = 0.6
+
+// TrainSignature records the training page's structure on the wrapper so
+// later pages can be drift-checked. Learn calls it automatically; it is
+// exported for wrappers deserialized from older JSON without a signature.
+func (w *Wrapper) TrainSignature(html string) error {
+	root, err := tagtree.Parse(html)
+	if err != nil {
+		return err
+	}
+	w.Signature = tagtree.PathSignature(root)
+	return nil
+}
+
+// Drift returns 1 − structural similarity between the page and the
+// wrapper's training page: 0 means structurally identical, 1 means nothing
+// shared. Wrappers without a recorded signature report 0 (unknown).
+func (w *Wrapper) Drift(html string) (float64, error) {
+	if len(w.Signature) == 0 {
+		return 0, nil
+	}
+	root, err := tagtree.Parse(html)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - w.Signature.Similarity(tagtree.PathSignature(root)), nil
+}
+
+// Stale reports whether the page has drifted past the threshold (use
+// DefaultDriftThreshold when unsure) and the wrapper should be relearned.
+func (w *Wrapper) Stale(html string, threshold float64) (bool, error) {
+	drift, err := w.Drift(html)
+	if err != nil {
+		return false, err
+	}
+	return drift > threshold, nil
+}

@@ -1,0 +1,78 @@
+package wrapgen
+
+import (
+	"testing"
+
+	"omini/internal/corpus"
+	"omini/internal/sitegen"
+)
+
+func TestDriftLowAcrossSameSitePages(t *testing.T) {
+	spec := siteSpec(t, "www.bn.example")
+	w, err := Learn(spec.Name, spec.Page(0).HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Signature) == 0 {
+		t.Fatal("Learn did not record a signature")
+	}
+	for idx := 1; idx <= 4; idx++ {
+		drift, err := w.Drift(spec.Page(idx).HTML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drift > 0.35 {
+			t.Errorf("page %d drift = %.3f, want low (same structure, new content)", idx, drift)
+		}
+		stale, err := w.Stale(spec.Page(idx).HTML, DefaultDriftThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stale {
+			t.Errorf("page %d flagged stale", idx)
+		}
+	}
+}
+
+func TestDriftHighAcrossRedesign(t *testing.T) {
+	// Train on a table site, test against a div-card site: a redesign.
+	w, err := Learn("redesign.example", siteSpec(t, "www.bn.example").Page(0).HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redesigned := siteSpec(t, "www.etoys.example").Page(0)
+	drift, err := w.Drift(redesigned.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift < DefaultDriftThreshold {
+		t.Errorf("redesign drift = %.3f, want above %.2f", drift, DefaultDriftThreshold)
+	}
+	stale, err := w.Stale(redesigned.HTML, DefaultDriftThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale {
+		t.Error("redesigned page not flagged stale")
+	}
+}
+
+func TestDriftWithoutSignature(t *testing.T) {
+	w := &Wrapper{}
+	drift, err := w.Drift(sitegen.LOC().HTML)
+	if err != nil || drift != 0 {
+		t.Errorf("drift without signature = %v, %v", drift, err)
+	}
+	if err := w.TrainSignature(sitegen.LOC().HTML); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Signature) == 0 {
+		t.Error("TrainSignature recorded nothing")
+	}
+	if _, err := w.Drift(""); err == nil {
+		t.Error("Drift on unparseable page succeeded")
+	}
+}
+
+// keep corpus import used even if site helpers change
+var _ = corpus.AllSpecs

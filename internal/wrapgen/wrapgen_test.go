@@ -1,0 +1,196 @@
+package wrapgen
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"omini/internal/core"
+	"omini/internal/corpus"
+	"omini/internal/sitegen"
+)
+
+// siteSpec fetches a named site spec from the corpus.
+func siteSpec(t *testing.T, name string) sitegen.SiteSpec {
+	t.Helper()
+	for _, s := range corpus.AllSpecs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("site %q not in corpus", name)
+	return sitegen.SiteSpec{}
+}
+
+func TestLearnFromCanoe(t *testing.T) {
+	page := sitegen.Canoe()
+	w, err := Learn(page.Site, page.HTML)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if w.Site != page.Site || !w.Rule.Valid() {
+		t.Fatalf("wrapper = %+v", w)
+	}
+	names := make(map[string]Field, len(w.Fields))
+	for _, f := range w.Fields {
+		names[f.Name] = f
+	}
+	for _, want := range []string{"title", "url", "image"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("schema missing %q: %+v", want, w.Fields)
+		}
+	}
+	// The title must come from the headline link, not the photo cell.
+	if f := names["title"]; !strings.HasSuffix(f.Path, ".a") {
+		t.Errorf("title path = %q", f.Path)
+	}
+
+	records, err := w.Extract(page.HTML)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if len(records) != page.Truth.ObjectCount {
+		t.Fatalf("got %d records, want %d", len(records), page.Truth.ObjectCount)
+	}
+	for i, rec := range records {
+		if rec["title"] != page.Truth.ObjectTitles[i] {
+			t.Errorf("record %d title = %q, want %q", i, rec["title"], page.Truth.ObjectTitles[i])
+		}
+		if !strings.HasPrefix(rec["url"], "/cnews/") {
+			t.Errorf("record %d url = %q", i, rec["url"])
+		}
+		if !strings.HasPrefix(rec["image"], "/img/") {
+			t.Errorf("record %d image = %q", i, rec["image"])
+		}
+	}
+}
+
+func TestWrapperGeneralizesAcrossPages(t *testing.T) {
+	spec := siteSpec(t, "www.bn.example")
+	train := spec.Page(0)
+	w, err := Learn(spec.Name, train.HTML)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	// Replay the wrapper on unseen pages of the same site.
+	for idx := 1; idx <= 5; idx++ {
+		page := spec.Page(idx)
+		records, err := w.Extract(page.HTML)
+		if err != nil {
+			t.Fatalf("page %d: %v", idx, err)
+		}
+		if len(records) != page.Truth.ObjectCount {
+			t.Errorf("page %d: %d records, want %d", idx, len(records), page.Truth.ObjectCount)
+			continue
+		}
+		for i, rec := range records {
+			if rec["title"] != page.Truth.ObjectTitles[i] {
+				t.Errorf("page %d record %d title = %q, want %q",
+					idx, i, rec["title"], page.Truth.ObjectTitles[i])
+			}
+		}
+	}
+}
+
+func TestWrapperOnEveryLayoutFamily(t *testing.T) {
+	// Wrapper learning must produce title-bearing records on every layout
+	// family in the corpus (via one representative site each).
+	sites := map[string]string{
+		"row-table":    "www.fatbrain.example",
+		"item-table":   "www.canoe.example",
+		"hr-record":    "www.thestar.example",
+		"dl-record":    "www.bookbuyer.example",
+		"ul-record":    "www.codysbooks.example",
+		"para-record":  "www.excite.example",
+		"div-card":     "www.etoys.example",
+		"font-catalog": "www.wine.example",
+	}
+	for layout, name := range sites {
+		t.Run(layout, func(t *testing.T) {
+			spec := siteSpec(t, name)
+			train := spec.Page(2)
+			w, err := Learn(spec.Name, train.HTML)
+			if err != nil {
+				t.Fatalf("Learn: %v", err)
+			}
+			test := spec.Page(3)
+			records, err := w.Extract(test.HTML)
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			if len(records) == 0 {
+				t.Fatal("no records")
+			}
+			withTitle := 0
+			for _, rec := range records {
+				if rec["title"] != "" {
+					withTitle++
+				}
+			}
+			if withTitle < len(records)*2/3 {
+				t.Errorf("only %d/%d records carry a title; fields: %+v",
+					withTitle, len(records), w.Fields)
+			}
+		})
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	if _, err := Learn("x", "<html><body>prose only</body></html>"); err == nil {
+		t.Error("Learn on object-free page succeeded")
+	}
+	res := &core.Result{}
+	if _, err := LearnFromResult("x", res); !errors.Is(err, ErrNoObjects) {
+		t.Errorf("err = %v, want ErrNoObjects", err)
+	}
+}
+
+func TestWrapperJSONRoundTrip(t *testing.T) {
+	page := sitegen.Canoe()
+	w, err := Learn(page.Site, page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Wrapper
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	records, err := back.Extract(page.HTML)
+	if err != nil {
+		t.Fatalf("extract with unmarshaled wrapper: %v", err)
+	}
+	if len(records) != page.Truth.ObjectCount {
+		t.Errorf("got %d records", len(records))
+	}
+}
+
+func TestFieldSupportThreshold(t *testing.T) {
+	// An optional field (image on ~half the items) must not become a
+	// schema field when support is below 2/3, but common fields survive.
+	spec := siteSpec(t, "www.vancouversun.example") // news: HasImg ~1/2
+	w, err := Learn(spec.Name, spec.Page(1).HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range w.Fields {
+		if f.Support < minFieldSupport-1e-9 {
+			t.Errorf("field %q has support %.2f below threshold", f.Name, f.Support)
+		}
+	}
+}
+
+func TestProjectSkipsEmptyObjects(t *testing.T) {
+	page := sitegen.Canoe()
+	w, err := Learn(page.Site, page.HTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Project(nil); len(got) != 0 {
+		t.Errorf("Project(nil) = %v", got)
+	}
+}
