@@ -22,6 +22,7 @@ import (
 
 	"omini"
 	"omini/internal/fetch"
+	"omini/internal/resilience"
 )
 
 func main() {
@@ -146,7 +147,9 @@ func readPage(src, cacheDir string) (html, site string, err error) {
 		body, err := io.ReadAll(os.Stdin)
 		return string(body), "stdin", err
 	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
-		f := fetch.Fetcher{CacheDir: cacheDir}
+		// Live-web fetches ride the resilience layer: transient upstream
+		// failures are retried with backoff before the CLI gives up.
+		f := fetch.Fetcher{CacheDir: cacheDir, Retry: &resilience.RetryPolicy{}}
 		ctx, cancel := fetch.WithTimeout(context.Background())
 		defer cancel()
 		body, err := f.Fetch(ctx, src)

@@ -17,14 +17,25 @@
 //	                          site's wrapper on first use
 //	GET  /rules            -> the cached extraction rules as JSON
 //	GET  /healthz          -> liveness
+//	GET  /statsz           -> resilience counters (shed, panics, caches)
+//
+// The service is hardened for production traffic: panics become 500s,
+// load past -max-inflight is shed with 429 + Retry-After, every request
+// runs under -request-timeout, and SIGTERM/SIGINT trigger a graceful
+// shutdown that drains in-flight extractions for up to -shutdown-grace.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"omini/internal/serve"
 )
@@ -33,12 +44,54 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8800", "listen address")
 		maxBytes = flag.Int64("max-bytes", 8<<20, "maximum request body size")
+		inflight = flag.Int("max-inflight", 256, "concurrent extraction cap; excess requests get 429 (negative = unlimited)")
+		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative = none)")
+		grace    = flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGTERM")
 	)
 	flag.Parse()
-	srv := serve.New(serve.Config{MaxBodyBytes: *maxBytes})
-	log.Printf("ominiserve listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.New(serve.Config{
+		MaxBodyBytes:   *maxBytes,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *reqTO,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ominiserve:", err)
 		os.Exit(1)
 	}
+	log.Printf("ominiserve listening on %s", ln.Addr())
+	if err := serveUntilDone(ctx, ln, srv, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "ominiserve:", err)
+		os.Exit(1)
+	}
+}
+
+// serveUntilDone serves on ln until ctx is cancelled (SIGTERM/SIGINT),
+// then shuts down gracefully: the listener closes immediately while
+// in-flight requests get up to grace to finish draining.
+func serveUntilDone(ctx context.Context, ln net.Listener, handler http.Handler, grace time.Duration) error {
+	server := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("ominiserve: shutdown requested, draining for up to %v", grace)
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := server.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("ominiserve: drained, exiting")
+	return nil
 }

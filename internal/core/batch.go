@@ -2,11 +2,17 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"omini/internal/rules"
 )
+
+// ErrPanicked marks a per-page extraction that panicked; the worker pool
+// survives and the page reports this error instead.
+var ErrPanicked = errors.New("core: extraction panicked")
 
 // Batch extraction: the aggregation-server workload the paper's
 // introduction motivates — hundreds of result pages from many sites,
@@ -98,9 +104,16 @@ dispatch:
 	return results
 }
 
-// extractOne serves a single batch request through the rule cache.
-func (e *Extractor) extractOne(req BatchRequest, store *rules.Store) BatchResult {
-	out := BatchResult{Site: req.Site}
+// extractOne serves a single batch request through the rule cache. A panic
+// anywhere in the pipeline is isolated to this page: one pathological page
+// yields one error result, never a dead worker pool.
+func (e *Extractor) extractOne(req BatchRequest, store *rules.Store) (out BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = BatchResult{Site: req.Site, Err: fmt.Errorf("%w: %v", ErrPanicked, r)}
+		}
+	}()
+	out = BatchResult{Site: req.Site}
 	if req.Site != "" {
 		if rule, err := store.Get(req.Site); err == nil {
 			if res, err := e.ExtractWithRule(req.HTML, rule); err == nil {

@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"omini/internal/rules"
 	"omini/internal/sitegen"
+	"omini/internal/subtree"
+	"omini/internal/tagtree"
 )
 
 // batchPages builds a batch over several sites' pages.
@@ -142,6 +145,32 @@ func TestExtractBatchStaleRule(t *testing.T) {
 	}
 	if rule.SubtreePath == "html[1].body[2].div[9]" {
 		t.Error("stale rule was not refreshed")
+	}
+}
+
+// panicHeuristic stands in for a pipeline stage with a latent crash bug.
+type panicHeuristic struct{}
+
+func (panicHeuristic) Name() string                        { return "panic" }
+func (panicHeuristic) Rank(*tagtree.Node) []subtree.Ranked { panic("pathological page") }
+
+func TestExtractBatchIsolatesPanics(t *testing.T) {
+	e := New(Options{Subtree: panicHeuristic{}})
+	reqs := batchPages(t, 2)
+	results := e.ExtractBatch(context.Background(), reqs, BatchOptions{Workers: 3})
+	if len(results) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res.Err == nil {
+			t.Fatalf("result %d: panic produced no error", i)
+		}
+		if !errors.Is(res.Err, ErrPanicked) {
+			t.Errorf("result %d: err = %v, want ErrPanicked", i, res.Err)
+		}
+		if res.Site != reqs[i].Site {
+			t.Errorf("result %d: site = %q, want %q", i, res.Site, reqs[i].Site)
+		}
 	}
 }
 

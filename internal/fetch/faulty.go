@@ -1,0 +1,216 @@
+package fetch
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omini/internal/sitegen"
+)
+
+// FaultyServer wraps a CorpusServer's page set behind a fault-injecting
+// front end: the chaos harness for the resilience layer. Each request may
+// be answered with an injected 500, a mid-stream disconnect, a truncated
+// body, or added latency — the failure modes a live-web aggregator sees
+// from slow and broken hosts. Faults are driven by a seeded RNG so runs
+// are reproducible.
+type FaultyServer struct {
+	cfg    FaultConfig
+	corpus *CorpusServer
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	consec map[string]int // consecutive injected faults per path
+
+	server   *http.Server
+	listener net.Listener
+
+	// injected fault tallies, for assertions and reports
+	errors      atomic.Int64
+	drops       atomic.Int64
+	truncations atomic.Int64
+	served      atomic.Int64
+}
+
+// FaultConfig tunes the injected failure mix. Rates are probabilities in
+// [0, 1] and are tried in order: error, drop, truncate.
+type FaultConfig struct {
+	// ErrorRate injects HTTP 500 responses.
+	ErrorRate float64
+	// DropRate closes the connection before writing anything (the client
+	// sees EOF or a connection reset).
+	DropRate float64
+	// TruncateRate writes headers promising the full body, sends half,
+	// and cuts the connection (an unexpected EOF mid-body).
+	TruncateRate float64
+	// MaxLatency adds a uniform random delay in [0, MaxLatency) to every
+	// response, including faulty ones.
+	MaxLatency time.Duration
+	// MaxConsecutive caps the injected-fault streak per path: after this
+	// many consecutive faults the next request for the path succeeds, so
+	// failures stay transient (what the retry layer is built for) rather
+	// than permanent. 0 means unlimited.
+	MaxConsecutive int
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+}
+
+// NewFaultyServer wraps the pages of corpus (which need not be started)
+// behind a fault-injecting listener.
+func NewFaultyServer(corpus *CorpusServer, cfg FaultConfig) *FaultyServer {
+	return &FaultyServer{
+		cfg:    cfg,
+		corpus: corpus,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		consec: make(map[string]int),
+	}
+}
+
+// Start binds a loopback listener and serves (sometimes faultily) until
+// Close.
+func (s *FaultyServer) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("fetch: faulty listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	srv := &http.Server{Handler: mux}
+
+	s.mu.Lock()
+	s.listener = ln
+	s.server = srv
+	s.mu.Unlock()
+
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// BaseURL returns the server's root URL ("" before Start).
+func (s *FaultyServer) BaseURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return "http://" + s.listener.Addr().String()
+}
+
+// URL returns the full URL for a page once the server is started.
+func (s *FaultyServer) URL(p sitegen.Page) string {
+	return s.BaseURL() + pagePath(p)
+}
+
+// Close shuts the server down and releases the listener.
+func (s *FaultyServer) Close() error {
+	s.mu.Lock()
+	srv := s.server
+	s.server = nil
+	s.listener = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// FaultCounts reports how many of each fault were injected and how many
+// requests were served cleanly.
+func (s *FaultyServer) FaultCounts() (errors, drops, truncations, served int64) {
+	return s.errors.Load(), s.drops.Load(), s.truncations.Load(), s.served.Load()
+}
+
+// fault is the per-request injection decision.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultError
+	faultDrop
+	faultTruncate
+)
+
+// pick rolls the fault dice for a path, honoring the consecutive-fault cap.
+func (s *FaultyServer) pick(path string) (fault, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var latency time.Duration
+	if s.cfg.MaxLatency > 0 {
+		latency = time.Duration(s.rng.Int63n(int64(s.cfg.MaxLatency)))
+	}
+	if s.cfg.MaxConsecutive > 0 && s.consec[path] >= s.cfg.MaxConsecutive {
+		s.consec[path] = 0
+		return faultNone, latency
+	}
+	r := s.rng.Float64()
+	f := faultNone
+	switch {
+	case r < s.cfg.ErrorRate:
+		f = faultError
+	case r < s.cfg.ErrorRate+s.cfg.DropRate:
+		f = faultDrop
+	case r < s.cfg.ErrorRate+s.cfg.DropRate+s.cfg.TruncateRate:
+		f = faultTruncate
+	}
+	if f == faultNone {
+		s.consec[path] = 0
+	} else {
+		s.consec[path]++
+	}
+	return f, latency
+}
+
+func (s *FaultyServer) handle(w http.ResponseWriter, r *http.Request) {
+	f, latency := s.pick(r.URL.Path)
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	switch f {
+	case faultError:
+		s.errors.Add(1)
+		http.Error(w, "injected upstream failure", http.StatusInternalServerError)
+	case faultDrop:
+		s.drops.Add(1)
+		s.abort(w, nil)
+	case faultTruncate:
+		s.truncations.Add(1)
+		s.corpus.mu.RLock()
+		page, ok := s.corpus.pages[r.URL.Path]
+		s.corpus.mu.RUnlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		s.abort(w, &page)
+	default:
+		s.served.Add(1)
+		s.corpus.handle(w, r)
+	}
+}
+
+// abort hijacks the connection and closes it — immediately (page == nil,
+// a dropped connection) or after promising the full body and sending half
+// (a truncated transfer).
+func (s *FaultyServer) abort(w http.ResponseWriter, page *sitegen.Page) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// Fall back to the abort panic; net/http drops the connection.
+		panic(http.ErrAbortHandler)
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	defer conn.Close()
+	if page == nil {
+		return
+	}
+	fmt.Fprintf(buf, "HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: %d\r\n\r\n", len(page.HTML))
+	_, _ = io.WriteString(buf, page.HTML[:len(page.HTML)/2])
+	_ = buf.Flush()
+}

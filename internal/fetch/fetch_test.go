@@ -2,14 +2,29 @@ package fetch
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"omini/internal/resilience"
 	"omini/internal/sitegen"
 )
+
+// fastRetry is a test retry policy with negligible backoff.
+func fastRetry(attempts int) *resilience.RetryPolicy {
+	return &resilience.RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Stats:       resilience.NewStats(),
+	}
+}
 
 func TestFetchBasic(t *testing.T) {
 	var hits atomic.Int64
@@ -82,6 +97,146 @@ func TestFetchRespectsMaxBytes(t *testing.T) {
 	}
 	if len(body) != 100 {
 		t.Errorf("body length = %d, want 100", len(body))
+	}
+}
+
+func TestFetchRetriesTransient5xx(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		_, _ = w.Write([]byte("<html><body>recovered</body></html>"))
+	}))
+	defer ts.Close()
+
+	f := Fetcher{Retry: fastRetry(5)}
+	body, err := f.Fetch(context.Background(), ts.URL+"/flaky")
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if !strings.Contains(body, "recovered") {
+		t.Errorf("body = %q", body)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("hits = %d, want 3 (two retries)", hits.Load())
+	}
+}
+
+func TestFetchDoesNotRetryClientErrors(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	f := Fetcher{Retry: fastRetry(5)}
+	if _, err := f.Fetch(context.Background(), ts.URL+"/gone"); err == nil {
+		t.Fatal("404 fetch succeeded")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("hits = %d, want 1 (404 is permanent)", hits.Load())
+	}
+}
+
+func TestFetchRetriesTruncatedBody(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Promise more bytes than delivered, then cut the connection:
+			// the client sees an unexpected EOF mid-body.
+			w.Header().Set("Content-Length", "1000")
+			_, _ = w.Write([]byte("partial"))
+			panic(http.ErrAbortHandler)
+		}
+		_, _ = w.Write([]byte("full body"))
+	}))
+	defer ts.Close()
+
+	f := Fetcher{Retry: fastRetry(3)}
+	body, err := f.Fetch(context.Background(), ts.URL+"/cut")
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if body != "full body" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestFetchBreakerShortCircuits(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	f := Fetcher{
+		Retry: fastRetry(1),
+		Breakers: resilience.NewBreakerGroup(resilience.BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         time.Hour,
+			Stats:            resilience.NewStats(),
+		}),
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Fetch(context.Background(), ts.URL+"/down"); err == nil {
+			t.Fatal("failing fetch succeeded")
+		}
+	}
+	before := hits.Load()
+	_, err := f.Fetch(context.Background(), ts.URL+"/down")
+	if !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if hits.Load() != before {
+		t.Error("open breaker still hit the upstream")
+	}
+}
+
+func TestFetchCacheWriteIsAtomic(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("page body"))
+	}))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	f := Fetcher{CacheDir: dir}
+	if _, err := f.Fetch(context.Background(), ts.URL+"/p"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".cache-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("cache entries = %d, want 1", len(entries))
+	}
+}
+
+func TestCachePathLongURLsDoNotCollide(t *testing.T) {
+	f := Fetcher{CacheDir: t.TempDir()}
+	prefix := "http://long.example/" + strings.Repeat("a", 300)
+	p1 := f.cachePath(prefix + "?page=1")
+	p2 := f.cachePath(prefix + "?page=2")
+	if p1 == p2 {
+		t.Fatalf("distinct long URLs share cache path %s", p1)
+	}
+	base := filepath.Base(p1)
+	if len(base) > 230 {
+		t.Errorf("cache name too long: %d bytes", len(base))
+	}
+	// Short URLs keep their readable, hashless names.
+	if got := filepath.Base(f.cachePath("http://a.example/x")); strings.Contains(got, "-") &&
+		!strings.Contains("http_a.example_x.html", got) {
+		t.Errorf("short URL name unexpectedly altered: %s", got)
 	}
 }
 

@@ -5,17 +5,28 @@
 // site, so a site's first page pays for discovery and the rest take the
 // fast path. A rule that stops matching (the site changed) is relearned
 // transparently.
+//
+// The handler chain is hardened for production traffic: a panic anywhere
+// in extraction returns a JSON 500 instead of killing the process, an
+// in-flight cap sheds excess load with 429 + Retry-After, every request
+// runs under a deadline, and all errors are structured JSON. The /statsz
+// endpoint exposes the resilience counters so none of this is silent.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"omini/internal/core"
 	"omini/internal/nav"
+	"omini/internal/resilience"
 	"omini/internal/rules"
 	"omini/internal/wrapgen"
 )
@@ -24,13 +35,32 @@ import (
 type Config struct {
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxInFlight caps concurrent extractions; excess requests are shed
+	// with 429 + Retry-After. 0 selects the default (256); negative
+	// disables the cap.
+	MaxInFlight int
+	// RequestTimeout bounds each extraction request; timed-out requests
+	// get 503. 0 selects the default (30s); negative disables it.
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint on shed requests (default 1s).
+	RetryAfter time.Duration
+	// Stats receives the service's counters; nil uses resilience.Default.
+	Stats *resilience.Stats
 }
+
+const (
+	defaultMaxInFlight    = 256
+	defaultRequestTimeout = 30 * time.Second
+	defaultRetryAfter     = time.Second
+)
 
 // Server is the HTTP handler. Create with New.
 type Server struct {
 	cfg       Config
-	mux       *http.ServeMux
+	handler   http.Handler
 	extractor *core.Extractor
+	limiter   *resilience.Limiter
+	stats     *resilience.Stats
 
 	mu       sync.RWMutex
 	rules    *rules.Store
@@ -42,26 +72,124 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = defaultRequestTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = defaultRetryAfter
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = resilience.Default
+	}
 	s := &Server{
 		cfg:       cfg,
-		mux:       http.NewServeMux(),
 		extractor: core.New(core.Options{}),
+		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
+		stats:     cfg.Stats,
 		rules:     rules.NewStore(),
 		wrappers:  make(map[string]*wrapgen.Wrapper),
 	}
-	s.mux.HandleFunc("POST /extract", s.handleExtract)
-	s.mux.HandleFunc("POST /records", s.handleRecords)
-	s.mux.HandleFunc("GET /rules", s.handleRules)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+
+	// Extraction endpoints run behind the load shed and request deadline;
+	// health and stats probes stay outside so an overloaded server still
+	// answers its operators.
+	api := http.NewServeMux()
+	api.HandleFunc("POST /extract", s.handleExtract)
+	api.HandleFunc("POST /records", s.handleRecords)
+	api.HandleFunc("GET /rules", s.handleRules)
+
+	root := http.NewServeMux()
+	root.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
 	})
+	root.HandleFunc("GET /statsz", s.handleStatsz)
+	root.Handle("/", s.withLimit(s.withTimeout(api)))
+
+	s.handler = s.withRecovery(root)
 	return s
 }
 
-// ServeHTTP dispatches to the service's endpoints.
+// ServeHTTP dispatches through the hardened middleware chain.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
+}
+
+// withRecovery converts handler panics into JSON 500s: one pathological
+// page must cost one request, never the process.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { // deliberate connection abort
+				panic(rec)
+			}
+			s.stats.Add("serve.panics", 1)
+			log.Printf("serve: recovered panic on %s %s: %v", r.Method, r.URL.Path, rec)
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withLimit sheds requests past the in-flight cap with 429 + Retry-After.
+func (s *Server) withLimit(next http.Handler) http.Handler {
+	if s.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.limiter.TryAcquire() {
+			s.stats.Add("serve.shed", 1)
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "server at capacity")
+			return
+		}
+		defer s.limiter.Release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout bounds each request; http.TimeoutHandler handles the
+// handler-vs-deadline write race.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	body, _ := json.Marshal(errorResponse{Error: "request timed out", Status: http.StatusServiceUnavailable})
+	return http.TimeoutHandler(next, s.cfg.RequestTimeout, string(body))
+}
+
+// statszResponse is the /statsz payload.
+type statszResponse struct {
+	// Counters are the cumulative resilience counters (retries, breaker
+	// trips, shed requests, recovered panics, ...).
+	Counters map[string]int64 `json:"counters"`
+	// InFlight is the number of extraction requests currently running.
+	InFlight int `json:"inFlight"`
+	// MaxInFlight is the shed threshold (0 = unlimited).
+	MaxInFlight int `json:"maxInFlight"`
+	// CachedRules and CachedWrappers size the per-site caches.
+	CachedRules    int `json:"cachedRules"`
+	CachedWrappers int `json:"cachedWrappers"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	nrules, nwrap := s.rules.Len(), len(s.wrappers)
+	s.mu.RUnlock()
+	writeJSON(w, statszResponse{
+		Counters:       s.stats.Snapshot(),
+		InFlight:       s.limiter.InFlight(),
+		MaxInFlight:    s.limiter.Cap(),
+		CachedRules:    nrules,
+		CachedWrappers: nwrap,
+	})
 }
 
 // objectResponse is the /extract payload.
@@ -124,7 +252,7 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if site == "" {
-		http.Error(w, "records endpoint requires ?site=", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "records endpoint requires ?site=")
 		return
 	}
 	wrapper, err := s.wrapperFor(site, html)
@@ -221,15 +349,16 @@ func (s *Server) relearnWrapper(site, html string) (*wrapgen.Wrapper, error) {
 func (s *Server) readPage(w http.ResponseWriter, r *http.Request) (html, site string, ok bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
 		return "", "", false
 	}
 	if int64(len(body)) > s.cfg.MaxBodyBytes {
-		http.Error(w, "body exceeds limit", http.StatusRequestEntityTooLarge)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d-byte limit", s.cfg.MaxBodyBytes))
 		return "", "", false
 	}
 	if len(body) == 0 {
-		http.Error(w, "empty body", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "empty body")
 		return "", "", false
 	}
 	return string(body), r.URL.Query().Get("site"), true
@@ -240,6 +369,21 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// errorResponse is the structured error payload every failure returns.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// writeError sends a structured JSON error with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(errorResponse{Error: msg, Status: status})
 }
 
 // httpError maps extraction failures to status codes.
@@ -253,5 +397,5 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrRuleMismatch):
 		status = http.StatusConflict
 	}
-	http.Error(w, err.Error(), status)
+	writeError(w, status, err.Error())
 }

@@ -5,8 +5,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"omini/internal/resilience"
 	"omini/internal/sitegen"
 )
 
@@ -202,6 +205,204 @@ func TestExtractReportsNextPage(t *testing.T) {
 	}
 	if out.NextPage != "/next" {
 		t.Errorf("nextPage = %q, want /next", out.NextPage)
+	}
+}
+
+// decodeError parses the structured JSON error payload and checks its
+// status field matches the response code.
+func decodeError(t *testing.T, resp *http.Response, body []byte) errorResponse {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v: %s", err, body)
+	}
+	if e.Status != resp.StatusCode {
+		t.Errorf("payload status = %d, response status = %d", e.Status, resp.StatusCode)
+	}
+	if e.Error == "" {
+		t.Error("error payload has empty message")
+	}
+	return e
+}
+
+func TestErrorPathsReturnStructuredJSON(t *testing.T) {
+	big := httptest.NewServer(New(Config{MaxBodyBytes: 64, Stats: resilience.NewStats()}))
+	defer big.Close()
+	ts := newTestServer(t)
+
+	t.Run("oversized body 413", func(t *testing.T) {
+		resp, body := post(t, big.URL+"/extract", strings.Repeat("x", 200))
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d, want 413", resp.StatusCode)
+		}
+		decodeError(t, resp, body)
+	})
+	t.Run("empty body 400", func(t *testing.T) {
+		resp, body := post(t, ts.URL+"/extract", "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+		decodeError(t, resp, body)
+	})
+	t.Run("missing site on records 400", func(t *testing.T) {
+		resp, body := post(t, ts.URL+"/records", sitegen.Canoe().HTML)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+		e := decodeError(t, resp, body)
+		if !strings.Contains(e.Error, "site") {
+			t.Errorf("message does not mention site: %q", e.Error)
+		}
+	})
+	t.Run("unparseable HTML 422", func(t *testing.T) {
+		resp, body := post(t, ts.URL+"/extract", "\x00\x01\x02 not html at all \xff\xfe")
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("status = %d, want 422", resp.StatusCode)
+		}
+		decodeError(t, resp, body)
+	})
+	t.Run("wrapper relearn failure 422", func(t *testing.T) {
+		// Prose-only page: wrapper learning finds no objects, so /records
+		// fails with a structured error rather than a crash or empty 200.
+		resp, body := post(t, ts.URL+"/records?site=prose.example",
+			"<html><body><p>just one paragraph of prose</p></body></html>")
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("status = %d, want 422", resp.StatusCode)
+		}
+		decodeError(t, resp, body)
+	})
+}
+
+func TestRecoveryMiddlewareReturnsJSON500(t *testing.T) {
+	stats := resilience.NewStats()
+	s := New(Config{Stats: stats})
+	h := s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("pathological page")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/extract", strings.NewReader("x")))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("panic response not JSON: %v: %s", err, rec.Body.String())
+	}
+	if !strings.Contains(e.Error, "pathological page") {
+		t.Errorf("error = %q", e.Error)
+	}
+	if stats.Get("serve.panics") != 1 {
+		t.Errorf("serve.panics = %d, want 1", stats.Get("serve.panics"))
+	}
+}
+
+func TestLoadSheddingPastInFlightCap(t *testing.T) {
+	stats := resilience.NewStats()
+	s := New(Config{MaxInFlight: 1, RetryAfter: 2 * time.Second, Stats: stats})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := s.withLimit(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/extract", strings.NewReader("x")))
+	}()
+	<-started
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/extract", strings.NewReader("x")))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("shed response not JSON: %v", err)
+	}
+	if stats.Get("serve.shed") != 1 {
+		t.Errorf("serve.shed = %d, want 1", stats.Get("serve.shed"))
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+func TestRequestTimeoutReturns503(t *testing.T) {
+	s := New(Config{RequestTimeout: 20 * time.Millisecond, Stats: resilience.NewStats()})
+	h := s.withTimeout(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/extract", strings.NewReader("x")))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("timeout response not JSON: %v: %s", err, rec.Body.String())
+	}
+}
+
+func TestHealthzBypassesLoadShedding(t *testing.T) {
+	// A fully saturated server must still answer its operators.
+	s := New(Config{MaxInFlight: 1, Stats: resilience.NewStats()})
+	if !s.limiter.TryAcquire() {
+		t.Fatal("could not saturate limiter")
+	}
+	defer s.limiter.Release()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz under load = %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("statsz under load = %d, want 200", rec.Code)
+	}
+}
+
+func TestStatszEndpoint(t *testing.T) {
+	stats := resilience.NewStats()
+	ts := httptest.NewServer(New(Config{Stats: stats}))
+	defer ts.Close()
+
+	// Generate one shed-free extraction and one 413 so counters move.
+	page := sitegen.Canoe()
+	post(t, ts.URL+"/extract?site="+page.Site, page.HTML)
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out statszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("statsz not JSON: %v", err)
+	}
+	if out.MaxInFlight != defaultMaxInFlight {
+		t.Errorf("maxInFlight = %d, want %d", out.MaxInFlight, defaultMaxInFlight)
+	}
+	if out.CachedRules != 1 {
+		t.Errorf("cachedRules = %d, want 1", out.CachedRules)
+	}
+	if out.Counters == nil {
+		t.Error("counters missing")
 	}
 }
 
