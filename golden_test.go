@@ -1,0 +1,122 @@
+// Golden regression tests: the exact extraction outcome (subtree path,
+// separator tag, object count, first/last object text) of a fixed set of
+// corpus pages, checked in under testdata/golden/. The goldens were
+// generated before the hot-path optimization pass, so a passing run proves
+// the optimized pipeline is output-identical to the reference behavior.
+//
+// Regenerate (only when extraction behavior changes intentionally) with:
+//
+//	go test -run TestGoldenExtraction -update .
+package omini_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"omini/internal/core"
+	"omini/internal/corpus"
+	"omini/internal/sitegen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden extraction files")
+
+// goldenRecord is the pinned outcome of one page's extraction.
+type goldenRecord struct {
+	Page        string `json:"page"`
+	SubtreePath string `json:"subtree_path"`
+	Separator   string `json:"separator"`
+	ObjectCount int    `json:"object_count"`
+	FirstObject string `json:"first_object_text"`
+	LastObject  string `json:"last_object_text"`
+}
+
+// goldenSites are the corpus sites pinned by the goldens, spanning every
+// layout family and noise profile the generator produces.
+var goldenSites = []string{
+	"agents.umbc.example",
+	"www.alphabetstreet.example",
+	"www.alphaworks.example",
+	"www.amazon.example",
+	"www.bookpool.example",
+	"cbc.example",
+	"www.google.example",
+	"www.chapters.example",
+	"www.aw.example",
+}
+
+// goldenPages assembles the pinned page set: the three bench pages, the two
+// paper replicas, and one page from each golden site (≥10 pages total).
+func goldenPages(t *testing.T) []sitegen.Page {
+	t.Helper()
+	pages := make([]sitegen.Page, 0, len(goldenSites)+5)
+	for _, size := range corpus.BenchSizes {
+		pages = append(pages, corpus.BenchPage(size))
+	}
+	pages = append(pages, sitegen.Canoe(), sitegen.LOC())
+	specs := corpus.AllSpecs()
+	for _, site := range goldenSites {
+		found := false
+		for _, spec := range specs {
+			if spec.Name == site {
+				pages = append(pages, spec.Page(1))
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("golden site %q not in corpus", site)
+		}
+	}
+	return pages
+}
+
+func TestGoldenExtraction(t *testing.T) {
+	e := core.New(core.Options{})
+	for _, page := range goldenPages(t) {
+		page := page
+		t.Run(page.Name, func(t *testing.T) {
+			res, err := e.Extract(page.HTML)
+			if err != nil {
+				t.Fatalf("extract: %v", err)
+			}
+			got := goldenRecord{
+				Page:        page.Name,
+				SubtreePath: res.SubtreePath,
+				Separator:   res.Separator,
+				ObjectCount: len(res.Objects),
+			}
+			if n := len(res.Objects); n > 0 {
+				got.FirstObject = res.Objects[0].Text()
+				got.LastObject = res.Objects[n-1].Text()
+			}
+			path := filepath.Join("testdata", "golden", page.Name+".json")
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			var want goldenRecord
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden %s: %v", path, err)
+			}
+			if got != want {
+				t.Errorf("extraction diverged from golden %s:\n got: %+v\nwant: %+v", path, got, want)
+			}
+		})
+	}
+}

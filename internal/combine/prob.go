@@ -67,13 +67,18 @@ type RankedList struct {
 	Ranked []separator.Ranked
 }
 
-// RankAll runs each heuristic once on the subtree. The result feeds
-// CombineLists, letting callers (like the 26-combination sweep) evaluate
-// many combinations without re-running the heuristics.
+// RankAll runs each heuristic once on the subtree, sharing one
+// separator.Stats index across all of them. The result feeds CombineLists,
+// letting callers (like the 26-combination sweep) evaluate many combinations
+// without re-running the heuristics.
 func RankAll(sub *tagtree.Node, heuristics []separator.Heuristic) []RankedList {
+	return rankAllWith(separator.NewStats(sub), heuristics)
+}
+
+func rankAllWith(st *separator.Stats, heuristics []separator.Heuristic) []RankedList {
 	lists := make([]RankedList, len(heuristics))
 	for i, h := range heuristics {
-		lists[i] = RankedList{Name: h.Name(), Ranked: h.Rank(sub)}
+		lists[i] = RankedList{Name: h.Name(), Ranked: separator.RankWith(st, h)}
 	}
 	return lists
 }
@@ -82,9 +87,11 @@ func RankAll(sub *tagtree.Node, heuristics []separator.Heuristic) []RankedList {
 // probabilities via the table, and merges per-tag evidence with
 // inclusion–exclusion: P(t) = 1 − Π_h (1 − p_h(t)). The result is sorted by
 // descending compound probability; ties prefer broader support, then the
-// tag's first appearance among the subtree's children.
+// tag's first appearance among the subtree's children. One Stats index over
+// the subtree serves every heuristic and the tie-break map.
 func Combine(sub *tagtree.Node, heuristics []separator.Heuristic, table ProbTable) []Candidate {
-	return CombineLists(RankAll(sub, heuristics), table, childFirstIndex(sub))
+	st := separator.NewStats(sub)
+	return CombineLists(rankAllWith(st, heuristics), table, st.FirstIndex())
 }
 
 // CombineLists merges pre-computed heuristic rankings, as Combine does.

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"omini/internal/corpus"
+	"omini/internal/tagtree"
+)
+
+// TestExtractTreeInvariants runs the full pipeline on the corpus bench pages
+// and validates the tree each result carries: extraction must consume the
+// tree without corrupting its cached metrics, since rule replay and the
+// evaluation harness reuse them.
+func TestExtractTreeInvariants(t *testing.T) {
+	e := New(Options{})
+	for _, size := range corpus.BenchSizes {
+		page := corpus.BenchPage(size)
+		res, err := e.Extract(page.HTML)
+		if err != nil {
+			t.Fatalf("%s: %v", page.Name, err)
+		}
+		if err := tagtree.Validate(res.Tree); err != nil {
+			t.Errorf("%s: tree invalid after extraction: %v", page.Name, err)
+		}
+		if len(res.Objects) == 0 {
+			t.Errorf("%s: no objects extracted", page.Name)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package corpus
+
+import (
+	"omini/internal/sitegen"
+)
+
+// BenchSizes are the page sizes the pipeline benchmarks sweep. The item
+// counts bracket the paper's corpus: a short result list, a typical search
+// page, and a heavy catalog dump.
+var BenchSizes = []string{"small", "medium", "large"}
+
+// benchItems maps a bench size to its fixed per-page object count.
+var benchItems = map[string]int{
+	"small":  6,
+	"medium": 40,
+	"large":  200,
+}
+
+// BenchPage deterministically generates the benchmark page of the given
+// size ("small", "medium" or "large"). The pages share one chrome-heavy
+// row-table site spec so phase costs scale only with the object count;
+// benchmarks and regression tooling both key off these exact pages.
+func BenchPage(size string) sitegen.Page {
+	items, ok := benchItems[size]
+	if !ok {
+		panic("corpus: unknown bench size " + size)
+	}
+	spec := sitegen.SiteSpec{
+		Name:       "bench-" + size + ".example",
+		Domain:     sitegen.DomainBooks,
+		LayoutName: "row-table",
+		Chrome: sitegen.ChromeSpec{
+			Banner:       true,
+			NavLinks:     25,
+			SidebarLinks: 12,
+			FooterLinks:  8,
+			SearchForm:   true,
+		},
+		Noise: sitegen.NoiseSpec{
+			InterItemBreaks: true,
+			AdEvery:         6,
+			HrDecorEvery:    5,
+		},
+		MinItems: items,
+		MaxItems: items,
+	}
+	return spec.Page(0)
+}

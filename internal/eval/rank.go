@@ -72,15 +72,16 @@ func preparePage(page sitegen.Page, heuristics []separator.Heuristic) (PreparedP
 	if sub == nil {
 		return PreparedPage{}, fmt.Errorf("truth path %q does not resolve", page.Truth.SubtreePath)
 	}
+	st := separator.NewStats(sub)
 	lists := make(map[string][]separator.Ranked, len(heuristics))
 	for _, h := range heuristics {
-		lists[h.Name()] = h.Rank(sub)
+		lists[h.Name()] = separator.RankWith(st, h)
 	}
 	return PreparedPage{
 		Page:     page,
 		Sub:      sub,
 		Lists:    lists,
-		TieBreak: combine.ChildFirstIndex(sub),
+		TieBreak: st.FirstIndex(),
 	}, nil
 }
 

@@ -23,6 +23,16 @@ type Lexer struct {
 	// rawUntil, when non-empty, is the tag name whose closing tag ends a
 	// raw-text region (script/style/...).
 	rawUntil string
+	// attrs is a shared attribute arena: every token's Attrs is a capped
+	// sub-slice of it, so a page costs a few attribute allocations instead
+	// of one (or more) per tag. Earlier tokens keep their backing array
+	// when the arena grows.
+	attrs []Attr
+	// lowered interns lower-cased copies of names that appear upper-cased
+	// in the source, so <TD> pays for one ToLower per distinct spelling
+	// instead of one per occurrence. Lazily allocated: fully lower-case
+	// documents never touch it.
+	lowered map[string]string
 }
 
 // NewLexer returns a Lexer over src.
@@ -42,6 +52,39 @@ func Tokenize(src string) []Token {
 		}
 		toks = append(toks, tok)
 	}
+}
+
+// lower returns the lower-cased form of an ASCII name, without allocating
+// when the name is already lower-case, and interning the lowered copy
+// otherwise.
+func (lx *Lexer) lower(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	if lo, ok := lx.lowered[s]; ok {
+		return lo
+	}
+	b := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[i] = c
+	}
+	lo := string(b)
+	if lx.lowered == nil {
+		lx.lowered = make(map[string]string, 8)
+	}
+	lx.lowered[s] = lo
+	return lo
 }
 
 // Next returns the next token and true, or a zero Token and false at the end
@@ -167,7 +210,7 @@ func (lx *Lexer) lexMarkup() (Token, bool) {
 		if i == nameStart {
 			return Token{}, false
 		}
-		name := strings.ToLower(s[nameStart:i])
+		name := lx.lower(s[nameStart:i])
 		// Skip anything up to '>' (attributes on end tags are invalid but
 		// occur in the wild).
 		for i < len(s) && s[i] != '>' {
@@ -218,9 +261,10 @@ func (lx *Lexer) lexStartTag(start int) Token {
 	}
 	tok := Token{
 		Type:   StartTagToken,
-		Data:   strings.ToLower(s[nameStart:i]),
+		Data:   lx.lower(s[nameStart:i]),
 		Offset: start,
 	}
+	attrStart := len(lx.attrs)
 	for {
 		// Skip whitespace between attributes.
 		for i < len(s) && isSpace(s[i]) {
@@ -248,10 +292,15 @@ func (lx *Lexer) lexStartTag(start int) Token {
 			continue
 		}
 		var attr Attr
-		attr, i = lexAttr(s, i)
+		attr, i = lx.lexAttr(s, i)
 		if attr.Name != "" {
-			tok.Attrs = append(tok.Attrs, attr)
+			lx.attrs = append(lx.attrs, attr)
 		}
+	}
+	if end := len(lx.attrs); end > attrStart {
+		// Cap the sub-slice so later arena appends can never alias into
+		// this token's attributes.
+		tok.Attrs = lx.attrs[attrStart:end:end]
 	}
 	lx.pos = i
 	return tok
@@ -259,12 +308,12 @@ func (lx *Lexer) lexStartTag(start int) Token {
 
 // lexAttr lexes one attribute starting at i and returns it with the new
 // position. Accepts name, name=value, name="value", and name='value'.
-func lexAttr(s string, i int) (Attr, int) {
+func (lx *Lexer) lexAttr(s string, i int) (Attr, int) {
 	nameStart := i
 	for i < len(s) && !isSpace(s[i]) && s[i] != '=' && s[i] != '>' && s[i] != '/' {
 		i++
 	}
-	name := strings.ToLower(s[nameStart:i])
+	name := lx.lower(s[nameStart:i])
 	for i < len(s) && isSpace(s[i]) {
 		i++
 	}

@@ -26,8 +26,10 @@ func (hc) Name() string { return "HC" }
 
 func (hc) Letter() byte { return 'H' }
 
-func (hc) Rank(sub *tagtree.Node) []Ranked {
-	stats := childStats(sub)
+func (h hc) Rank(sub *tagtree.Node) []Ranked { return h.rankWith(NewStats(sub)) }
+
+func (hc) rankWith(st *Stats) []Ranked {
+	stats := st.tags
 	type entry struct {
 		tag   string
 		count int
@@ -74,8 +76,10 @@ func (it) Name() string { return "IT" }
 
 func (it) Letter() byte { return 'T' }
 
-func (it) Rank(sub *tagtree.Node) []Ranked {
-	stats := childStats(sub)
+func (h it) Rank(sub *tagtree.Node) []Ranked { return h.rankWith(NewStats(sub)) }
+
+func (it) rankWith(st *Stats) []Ranked {
+	stats := st.tags
 	var out []Ranked
 	for pos, tag := range itList {
 		s, ok := stats[tag]

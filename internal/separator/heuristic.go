@@ -69,27 +69,11 @@ func ByName(name string) Heuristic {
 
 // tagStat aggregates the per-tag candidate statistics shared by the
 // heuristics: how many children of the subtree root carry the tag and the
-// position of its first appearance.
+// position of its first appearance. NewStats computes them in one pass over
+// the children, shared by all heuristics ranking the same subtree.
 type tagStat struct {
 	count int
 	first int
-}
-
-// childStats computes candidate-tag statistics over the children of sub.
-func childStats(sub *tagtree.Node) map[string]tagStat {
-	stats := make(map[string]tagStat)
-	for i, c := range sub.Children {
-		if c.IsContent() {
-			continue
-		}
-		s, ok := stats[c.Tag]
-		if !ok {
-			s.first = i
-		}
-		s.count++
-		stats[c.Tag] = s
-	}
-	return stats
 }
 
 // Tags extracts just the tag names from a ranking, preserving order.

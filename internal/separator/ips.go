@@ -49,8 +49,11 @@ func (ips) Name() string { return "IPS" }
 
 func (ips) Letter() byte { return 'I' }
 
-func (ips) Rank(sub *tagtree.Node) []Ranked {
-	stats := childStats(sub)
+func (h ips) Rank(sub *tagtree.Node) []Ranked { return h.rankWith(NewStats(sub)) }
+
+func (ips) rankWith(st *Stats) []Ranked {
+	stats := st.tags
+	sub := st.sub
 	var out []Ranked
 	seen := make(map[string]bool)
 	appendTag := func(tag string, pos int) {

@@ -35,33 +35,36 @@ type PathCount struct {
 	Count int
 }
 
-func (pp) Rank(sub *tagtree.Node) []Ranked {
-	paths := PPPaths(sub)
-	stats := childStats(sub)
+func (h pp) Rank(sub *tagtree.Node) []Ranked { return h.rankWith(NewStats(sub)) }
+
+func (pp) rankWith(st *Stats) []Ranked {
+	trie := st.pp()
+	stats := st.tags
 	type best struct {
 		count  int
 		length int
 	}
-	bests := make(map[string]best)
-	var tags []string
-	for _, pc := range paths {
-		tag := pc.Path
-		if dot := strings.IndexByte(tag, '.'); dot >= 0 {
-			tag = tag[:dot]
+	// The trie dedups top-level tags by construction, so the best path per
+	// candidate tag is a max over that child's trie subtree: highest count,
+	// longest path among those.
+	bests := make(map[string]best, len(trie.children))
+	tags := make([]string, 0, len(trie.children))
+	for _, top := range trie.children {
+		b := best{}
+		var scan func(t *ppTrieNode)
+		scan = func(t *ppTrieNode) {
+			if t.count > b.count || (t.count == b.count && t.depth > b.length) {
+				b = best{count: t.count, length: t.depth}
+			}
+			for _, c := range t.children {
+				scan(c)
+			}
 		}
-		length := strings.Count(pc.Path, ".") + 1
-		b, ok := bests[tag]
-		if !ok {
-			tags = append(tags, tag)
-			bests[tag] = best{count: pc.Count, length: length}
-			continue
-		}
-		if pc.Count > b.count || (pc.Count == b.count && length > b.length) {
-			b.count, b.length = pc.Count, length
-			bests[tag] = b
-		}
+		scan(top)
+		bests[top.tag] = b
+		tags = append(tags, top.tag)
 	}
-	sort.SliceStable(tags, func(i, j int) bool {
+	sort.Slice(tags, func(i, j int) bool {
 		a, b := bests[tags[i]], bests[tags[j]]
 		if a.count != b.count {
 			return a.count > b.count
@@ -83,32 +86,74 @@ func (pp) Rank(sub *tagtree.Node) []Ranked {
 	return out
 }
 
+// ppTrieNode is one node of the partial-path trie: the tags on the way from
+// the trie root to the node spell a downward tag path, count is the number
+// of occurrences of that path. Children are a small slice scanned linearly —
+// the distinct continuations of one path are few, and the scan avoids a map
+// allocation per trie node.
+type ppTrieNode struct {
+	tag      string
+	depth    int // path length in tags
+	count    int
+	children []*ppTrieNode
+}
+
+// child returns the continuation of t's path by tag, creating it on first
+// use.
+func (t *ppTrieNode) child(tag string) *ppTrieNode {
+	for _, c := range t.children {
+		if c.tag == tag {
+			return c
+		}
+	}
+	c := &ppTrieNode{tag: tag, depth: t.depth + 1}
+	t.children = append(t.children, c)
+	return c
+}
+
+// buildPPTrie counts every downward tag path starting at a child of sub.
+// Replacing the per-node strings.Join of the naive enumeration, each tag
+// node costs one linear trie step; path strings are only materialized once
+// per distinct path, by PPPaths.
+func buildPPTrie(sub *tagtree.Node) *ppTrieNode {
+	root := &ppTrieNode{}
+	var walk func(n *tagtree.Node, at *ppTrieNode)
+	walk = func(n *tagtree.Node, at *ppTrieNode) {
+		if n.IsContent() {
+			return
+		}
+		at = at.child(n.Tag)
+		at.count++
+		for _, c := range n.Children {
+			walk(c, at)
+		}
+	}
+	for _, c := range sub.Children {
+		walk(c, root)
+	}
+	return root
+}
+
 // PPPaths enumerates every downward tag path starting at a child of the
 // chosen subtree (Table 7): for each candidate child c and each tag node v
 // reachable from c, the dot-joined sequence of tag names from c to v counts
 // one occurrence. Paths are returned in descending count order, ties broken
 // by longer path then lexicographic order.
 func PPPaths(sub *tagtree.Node) []PathCount {
-	counts := make(map[string]int)
-	var stack []string
-	var walk func(n *tagtree.Node)
-	walk = func(n *tagtree.Node) {
-		if n.IsContent() {
-			return
+	root := buildPPTrie(sub)
+	var out []PathCount
+	var parts []string
+	var emit func(t *ppTrieNode)
+	emit = func(t *ppTrieNode) {
+		parts = append(parts, t.tag)
+		out = append(out, PathCount{Path: strings.Join(parts, "."), Count: t.count})
+		for _, c := range t.children {
+			emit(c)
 		}
-		stack = append(stack, n.Tag)
-		counts[strings.Join(stack, ".")]++
-		for _, c := range n.Children {
-			walk(c)
-		}
-		stack = stack[:len(stack)-1]
+		parts = parts[:len(parts)-1]
 	}
-	for _, c := range sub.Children {
-		walk(c)
-	}
-	out := make([]PathCount, 0, len(counts))
-	for p, c := range counts {
-		out = append(out, PathCount{Path: p, Count: c})
+	for _, c := range root.children {
+		emit(c)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

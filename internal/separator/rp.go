@@ -48,9 +48,11 @@ type RPPair struct {
 	Diff int
 }
 
-func (rp) Rank(sub *tagtree.Node) []Ranked {
-	pairs := RPPairs(sub)
-	stats := childStats(sub)
+func (h rp) Rank(sub *tagtree.Node) []Ranked { return h.rankWith(NewStats(sub)) }
+
+func (rp) rankWith(st *Stats) []Ranked {
+	pairs := st.rp()
+	stats := st.tags
 	var out []Ranked
 	seen := make(map[string]bool)
 	for _, p := range pairs {

@@ -29,9 +29,11 @@ type SBPair struct {
 	Count int
 }
 
-func (sb) Rank(sub *tagtree.Node) []Ranked {
-	pairs := SBPairs(sub)
-	stats := childStats(sub)
+func (h sb) Rank(sub *tagtree.Node) []Ranked { return h.rankWith(NewStats(sub)) }
+
+func (sb) rankWith(st *Stats) []Ranked {
+	pairs := st.sb()
+	stats := st.tags
 	var out []Ranked
 	seen := make(map[string]bool)
 	for _, p := range pairs {

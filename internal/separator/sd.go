@@ -21,8 +21,10 @@ func (sd) Name() string { return "SD" }
 
 func (sd) Letter() byte { return 'S' }
 
-func (sd) Rank(sub *tagtree.Node) []Ranked {
-	stats := childStats(sub)
+func (h sd) Rank(sub *tagtree.Node) []Ranked { return h.rankWith(NewStats(sub)) }
+
+func (sd) rankWith(st *Stats) []Ranked {
+	stats := st.tags
 	if len(stats) == 0 {
 		return nil
 	}
@@ -52,7 +54,7 @@ func (sd) Rank(sub *tagtree.Node) []Ranked {
 		if s.count < threshold {
 			continue
 		}
-		gaps := consecutiveDistances(sub, tag)
+		gaps := st.gaps(tag)
 		if len(gaps) == 0 {
 			continue
 		}
@@ -96,32 +98,10 @@ func (sd) Rank(sub *tagtree.Node) []Ranked {
 	return out
 }
 
-// consecutiveDistances measures, for each pair of consecutive occurrences of
-// tag among sub's children, the content size (in bytes) spanned from one
-// occurrence to the next — the "distance in terms of the number of
-// characters" of Section 5.1. The span includes the occurrence's own
-// content and everything before the next occurrence, which is the size of
-// the object the tag delimits.
-func consecutiveDistances(sub *tagtree.Node, tag string) []float64 {
-	var (
-		gaps    []float64
-		started bool
-		acc     int
-	)
-	for _, c := range sub.Children {
-		if !c.IsContent() && c.Tag == tag {
-			if started {
-				gaps = append(gaps, float64(acc))
-			}
-			started = true
-			acc = 0
-		}
-		if started {
-			acc += c.NodeSize()
-		}
-	}
-	return gaps
-}
+// The "distance in terms of the number of characters" of Section 5.1 —
+// the content spanned from one occurrence of a tag to the next, including
+// the occurrence's own content — is served by Stats.gaps from the prefix
+// sums built in NewStats's single child pass.
 
 // stddev is the population standard deviation of xs.
 func stddev(xs []float64) float64 {

@@ -1,0 +1,121 @@
+package separator
+
+import (
+	"omini/internal/tagtree"
+)
+
+// Stats is a one-pass index over the children of a chosen subtree, shared by
+// every heuristic ranking the same subtree: per-tag counts and first
+// appearances, a running content-size prefix over the children (so SD's
+// inter-occurrence distances become O(1) lookups), per-tag occurrence
+// positions, and lazily cached pair/path listings for RP, SB and PP. Build
+// one with NewStats and hand it to RankWith to rank several heuristics
+// without rescanning the subtree once per heuristic.
+type Stats struct {
+	sub  *tagtree.Node
+	tags map[string]tagStat
+	// prefix[i] is the total NodeSize of children[0:i]; the content spanned
+	// from child a up to (not including) child b is prefix[b]-prefix[a].
+	prefix []int
+	// occ lists the positions among sub.Children at which each tag occurs.
+	occ map[string][]int
+
+	rpPairs []RPPair
+	rpDone  bool
+	sbPairs []SBPair
+	sbDone  bool
+	ppRoot  *ppTrieNode
+}
+
+// NewStats indexes the children of sub in a single pass.
+func NewStats(sub *tagtree.Node) *Stats {
+	st := &Stats{
+		sub:    sub,
+		tags:   make(map[string]tagStat),
+		prefix: make([]int, len(sub.Children)+1),
+		occ:    make(map[string][]int),
+	}
+	for i, c := range sub.Children {
+		st.prefix[i+1] = st.prefix[i] + c.NodeSize()
+		if c.IsContent() {
+			continue
+		}
+		s, ok := st.tags[c.Tag]
+		if !ok {
+			s.first = i
+		}
+		s.count++
+		st.tags[c.Tag] = s
+		st.occ[c.Tag] = append(st.occ[c.Tag], i)
+	}
+	return st
+}
+
+// Sub returns the subtree the index was built over.
+func (st *Stats) Sub() *tagtree.Node { return st.sub }
+
+// FirstIndex returns, for each child tag, the index of its first appearance
+// among the subtree's children — the tie-break combine.CombineLists expects.
+func (st *Stats) FirstIndex() map[string]int {
+	m := make(map[string]int, len(st.tags))
+	for tag, s := range st.tags {
+		m[tag] = s.first
+	}
+	return m
+}
+
+// gaps returns the content distances between consecutive occurrences of tag
+// among the subtree's children (Section 5.1), each gap read off the prefix
+// sums instead of re-accumulating child sizes.
+func (st *Stats) gaps(tag string) []float64 {
+	pos := st.occ[tag]
+	if len(pos) < 2 {
+		return nil
+	}
+	out := make([]float64, len(pos)-1)
+	for i := range out {
+		out[i] = float64(st.prefix[pos[i+1]] - st.prefix[pos[i]])
+	}
+	return out
+}
+
+// rp returns the cached RP pair listing, computing it on first use.
+func (st *Stats) rp() []RPPair {
+	if !st.rpDone {
+		st.rpPairs = RPPairs(st.sub)
+		st.rpDone = true
+	}
+	return st.rpPairs
+}
+
+// sb returns the cached SB pair listing, computing it on first use.
+func (st *Stats) sb() []SBPair {
+	if !st.sbDone {
+		st.sbPairs = SBPairs(st.sub)
+		st.sbDone = true
+	}
+	return st.sbPairs
+}
+
+// pp returns the cached partial-path trie, computing it on first use.
+func (st *Stats) pp() *ppTrieNode {
+	if st.ppRoot == nil {
+		st.ppRoot = buildPPTrie(st.sub)
+	}
+	return st.ppRoot
+}
+
+// statsRanker is implemented by heuristics that can rank off a shared Stats.
+type statsRanker interface {
+	rankWith(st *Stats) []Ranked
+}
+
+// RankWith ranks candidate tags with h over a prebuilt index, sharing the
+// child scan and the cached pair/path listings across heuristics. It is
+// equivalent to h.Rank(st.Sub()).
+func RankWith(st *Stats, h Heuristic) []Ranked {
+	if sr, ok := h.(statsRanker); ok {
+		return sr.rankWith(st)
+	}
+	return h.Rank(st.Sub())
+}

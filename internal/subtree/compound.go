@@ -32,12 +32,7 @@ const compoundMinimalityRatio = 0.8
 const compoundMinimalityFanout = 3
 
 func (compound) Rank(root *tagtree.Node) []Ranked {
-	cands := candidates(root)
-	entries := make([]Ranked, len(cands))
-	for i, n := range cands {
-		entries[i] = Ranked{Node: n, Score: volume(n)}
-	}
-	sortRanked(entries, order(cands))
+	entries := rankCandidates(root, volume)
 
 	// Minimality pass: an ancestor always accumulates at least its
 	// descendant's size and tags, so a page whose chrome is light can rank

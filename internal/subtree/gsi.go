@@ -17,13 +17,7 @@ func GSI() Heuristic { return gsi{} }
 func (gsi) Name() string { return "GSI" }
 
 func (gsi) Rank(root *tagtree.Node) []Ranked {
-	cands := candidates(root)
-	entries := make([]Ranked, len(cands))
-	for i, n := range cands {
-		entries[i] = Ranked{Node: n, Score: sizeIncrease(n)}
-	}
-	sortRanked(entries, order(cands))
-	return entries
+	return rankCandidates(root, sizeIncrease)
 }
 
 // sizeIncrease computes the GSI score of one node: the node size minus the

@@ -43,40 +43,71 @@ func Extract(root *tagtree.Node) *tagtree.Node {
 // node with at least one child. Content nodes anchor no subtree, and a
 // childless tag cannot contain multiple objects.
 func candidates(root *tagtree.Node) []*tagtree.Node {
-	var out []*tagtree.Node
-	root.Walk(func(n *tagtree.Node) bool {
-		if !n.IsContent() && n.Fanout() > 0 {
-			out = append(out, n)
-		}
-		return true
-	})
-	return out
+	return collectCandidates(root).nodes
 }
 
-// order maps nodes to their document-order position for stable tie-breaks.
-func order(nodes []*tagtree.Node) map[*tagtree.Node]int {
-	m := make(map[*tagtree.Node]int, len(nodes))
-	for i, n := range nodes {
-		m[n] = i
+// candList holds the candidate anchors of one ranking pass in document
+// order, with each anchor's depth (relative to the ranked root) precomputed
+// so sorting needs no per-comparison tree walks.
+type candList struct {
+	nodes  []*tagtree.Node
+	depths []int
+}
+
+// collectCandidates gathers the candidate anchors and their depths in one
+// walk. Depths are relative to root; tie-breaks only compare depths, so the
+// constant offset to absolute depth is irrelevant.
+func collectCandidates(root *tagtree.Node) candList {
+	est := root.TagCount()/4 + 4
+	cl := candList{
+		nodes:  make([]*tagtree.Node, 0, est),
+		depths: make([]int, 0, est),
 	}
-	return m
+	var walk func(n *tagtree.Node, depth int)
+	walk = func(n *tagtree.Node, depth int) {
+		if n.IsContent() {
+			return
+		}
+		if n.Fanout() > 0 {
+			cl.nodes = append(cl.nodes, n)
+			cl.depths = append(cl.depths, depth)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return cl
 }
 
-// sortRanked sorts entries by descending score. Ties prefer the deeper node
-// (the *minimal* subtree with the property, per Definition 4) and then
-// document order, so rankings are deterministic.
-func sortRanked(entries []Ranked, pos map[*tagtree.Node]int) {
-	sort.SliceStable(entries, func(i, j int) bool {
-		a, b := entries[i], entries[j]
-		if a.Score != b.Score {
-			return a.Score > b.Score
+// rankCandidates scores every candidate anchor under root and returns the
+// ranking in descending score order. Ties prefer the deeper node (the
+// *minimal* subtree with the property, per Definition 4) and then document
+// order, so rankings are deterministic. The tree is walked once; sorting
+// works on a precomputed index with no maps and no Depth() traversals.
+func rankCandidates(root *tagtree.Node, score func(*tagtree.Node) float64) []Ranked {
+	cl := collectCandidates(root)
+	entries := make([]Ranked, len(cl.nodes))
+	idx := make([]int, len(cl.nodes))
+	for i, n := range cl.nodes {
+		entries[i] = Ranked{Node: n, Score: score(n)}
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
 		}
-		da, db := a.Node.Depth(), b.Node.Depth()
-		if da != db {
-			return da > db
+		if cl.depths[i] != cl.depths[j] {
+			return cl.depths[i] > cl.depths[j]
 		}
-		return pos[a.Node] < pos[b.Node]
+		return i < j
 	})
+	out := make([]Ranked, len(entries))
+	for k, i := range idx {
+		out[k] = entries[i]
+	}
+	return out
 }
 
 // Top returns the first n entries of a ranked list (or fewer).

@@ -16,11 +16,7 @@ func HF() Heuristic { return hf{} }
 func (hf) Name() string { return "HF" }
 
 func (hf) Rank(root *tagtree.Node) []Ranked {
-	cands := candidates(root)
-	entries := make([]Ranked, len(cands))
-	for i, n := range cands {
-		entries[i] = Ranked{Node: n, Score: float64(n.Fanout())}
-	}
-	sortRanked(entries, order(cands))
-	return entries
+	return rankCandidates(root, func(n *tagtree.Node) float64 {
+		return float64(n.Fanout())
+	})
 }

@@ -26,12 +26,9 @@ func LTC() Heuristic { return ltc{window: ltcReexamineWindow} }
 func (ltc) Name() string { return "LTC" }
 
 func (h ltc) Rank(root *tagtree.Node) []Ranked {
-	cands := candidates(root)
-	entries := make([]Ranked, len(cands))
-	for i, n := range cands {
-		entries[i] = Ranked{Node: n, Score: float64(n.TagCount())}
-	}
-	sortRanked(entries, order(cands))
+	entries := rankCandidates(root, func(n *tagtree.Node) float64 {
+		return float64(n.TagCount())
+	})
 
 	// Step 2: walk down the ranked list and re-examine ancestor pairs.
 	// When a higher-ranked subtree T_i is in an ancestor relationship with

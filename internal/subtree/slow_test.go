@@ -1,0 +1,156 @@
+package subtree
+
+// Frozen reference implementations of the subtree heuristics, copied
+// verbatim from the pre-optimization code (per-heuristic Walk scans, an
+// order map and repeated Depth() calls in the sort). The differential tests
+// in diff_test.go pin the optimized implementations to these on randomized
+// trees; do not "improve" this file.
+
+import (
+	"sort"
+
+	"omini/internal/tagtree"
+)
+
+func slowCandidates(root *tagtree.Node) []*tagtree.Node {
+	var out []*tagtree.Node
+	root.Walk(func(n *tagtree.Node) bool {
+		if !n.IsContent() && n.Fanout() > 0 {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+func slowOrder(nodes []*tagtree.Node) map[*tagtree.Node]int {
+	m := make(map[*tagtree.Node]int, len(nodes))
+	for i, n := range nodes {
+		m[n] = i
+	}
+	return m
+}
+
+func slowSortRanked(entries []Ranked, pos map[*tagtree.Node]int) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		da, db := a.Node.Depth(), b.Node.Depth()
+		if da != db {
+			return da > db
+		}
+		return pos[a.Node] < pos[b.Node]
+	})
+}
+
+func slowHFRank(root *tagtree.Node) []Ranked {
+	cands := slowCandidates(root)
+	entries := make([]Ranked, len(cands))
+	for i, n := range cands {
+		entries[i] = Ranked{Node: n, Score: float64(n.Fanout())}
+	}
+	slowSortRanked(entries, slowOrder(cands))
+	return entries
+}
+
+func slowGSIRank(root *tagtree.Node) []Ranked {
+	cands := slowCandidates(root)
+	entries := make([]Ranked, len(cands))
+	for i, n := range cands {
+		entries[i] = Ranked{Node: n, Score: slowSizeIncrease(n)}
+	}
+	slowSortRanked(entries, slowOrder(cands))
+	return entries
+}
+
+func slowSizeIncrease(n *tagtree.Node) float64 {
+	fanout := n.Fanout()
+	if fanout == 0 {
+		return 0
+	}
+	size := float64(n.NodeSize())
+	return size - size/float64(fanout)
+}
+
+func slowLTCRank(root *tagtree.Node) []Ranked {
+	cands := slowCandidates(root)
+	entries := make([]Ranked, len(cands))
+	for i, n := range cands {
+		entries[i] = Ranked{Node: n, Score: float64(n.TagCount())}
+	}
+	slowSortRanked(entries, slowOrder(cands))
+
+	window := ltcReexamineWindow
+	if window <= 0 || window > len(entries) {
+		window = len(entries)
+	}
+	maxChild := make(map[*tagtree.Node]int, window)
+	countOf := func(n *tagtree.Node) int {
+		if c, ok := maxChild[n]; ok {
+			return c
+		}
+		_, c := n.MaxChildTagCount()
+		maxChild[n] = c
+		return c
+	}
+	for i := 0; i < window; i++ {
+		for j := i + 1; j < window; j++ {
+			a, b := entries[i].Node, entries[j].Node
+			if !a.IsAncestorOf(b) && !b.IsAncestorOf(a) {
+				continue
+			}
+			desc := b
+			if b.IsAncestorOf(a) {
+				desc = a
+			}
+			anc := a
+			if desc == a {
+				anc = b
+			}
+			if desc.TagCount()*2 < anc.TagCount() {
+				continue
+			}
+			if countOf(b) > countOf(a) {
+				entries[i], entries[j] = entries[j], entries[i]
+				j = i
+			}
+		}
+	}
+	return entries
+}
+
+func slowCompoundRank(root *tagtree.Node) []Ranked {
+	cands := slowCandidates(root)
+	entries := make([]Ranked, len(cands))
+	for i, n := range cands {
+		entries[i] = Ranked{Node: n, Score: slowVolume(n)}
+	}
+	slowSortRanked(entries, slowOrder(cands))
+
+	window := compoundWindow
+	if window > len(entries) {
+		window = len(entries)
+	}
+	for i := 0; i < window; i++ {
+		for j := i + 1; j < window; j++ {
+			anc, desc := entries[i].Node, entries[j].Node
+			if !anc.IsAncestorOf(desc) {
+				continue
+			}
+			holdsContent := float64(desc.NodeSize()) >=
+				compoundMinimalityRatio*float64(anc.NodeSize())
+			if holdsContent && desc.Fanout() >= compoundMinimalityFanout {
+				entries[i], entries[j] = entries[j], entries[i]
+				j = i
+			}
+		}
+	}
+	return entries
+}
+
+func slowVolume(n *tagtree.Node) float64 {
+	size := slowSizeIncrease(n) + 1
+	return float64(n.Fanout()) * size * size * float64(n.TagCount())
+}

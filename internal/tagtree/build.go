@@ -19,12 +19,55 @@ func Parse(src string) (*Node, error) {
 	return Build(tidy.NormalizeTokens(src))
 }
 
+// arena allocates Nodes in fixed chunks so a whole tree costs a handful of
+// allocations instead of one per node. Chunks are never reallocated, so the
+// pointers handed out stay stable; a tree's nodes die together with the
+// tree, which is exactly the lifetime model of the immutable tag tree.
+type arena struct {
+	chunk []Node
+}
+
+// next chunk sizes: grow geometrically, bounded so a pathological document
+// cannot demand one giant allocation.
+const (
+	arenaMinChunk = 128
+	arenaMaxChunk = 16384
+)
+
+func (a *arena) newNode() *Node {
+	if len(a.chunk) == cap(a.chunk) {
+		size := 2 * cap(a.chunk)
+		if size < arenaMinChunk {
+			size = arenaMinChunk
+		}
+		if size > arenaMaxChunk {
+			size = arenaMaxChunk
+		}
+		a.chunk = make([]Node, 0, size)
+	}
+	a.chunk = a.chunk[:len(a.chunk)+1]
+	return &a.chunk[len(a.chunk)-1]
+}
+
 // Build constructs a tag tree from a balanced token stream, such as the
 // output of tidy.NormalizeTokens. Whitespace-only text between tags is
 // dropped (it carries no content and would distort nodeSize); all other
 // text becomes content nodes. If the stream has multiple top-level
 // elements, they are wrapped in a synthetic "html" root.
+//
+// Nodes come from a chunked arena and the size/count metrics are computed
+// in this single pass (folded parent-ward as each element closes), so
+// construction performs no per-node allocation and no second finalize walk.
+// tagtree.Validate checks the resulting invariants in tests.
 func Build(toks []htmlparse.Token) (*Node, error) {
+	ar := arena{}
+	if est := len(toks); est > 0 {
+		size := est/2 + 8
+		if size > arenaMaxChunk {
+			size = arenaMaxChunk
+		}
+		ar.chunk = make([]Node, 0, size)
+	}
 	var roots []*Node
 	var stack []*Node
 
@@ -35,23 +78,37 @@ func Build(toks []htmlparse.Token) (*Node, error) {
 		}
 		p := stack[len(stack)-1]
 		c.Parent = p
+		c.Index = len(p.Children) + 1
 		p.Children = append(p.Children, c)
+	}
+	// pop closes the top element, folding its finished metrics into its
+	// parent on the stack.
+	pop := func() *Node {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			p := stack[len(stack)-1]
+			p.nodeSize += top.nodeSize
+			p.tagCount += top.tagCount
+		}
+		return top
 	}
 
 	for i := range toks {
 		tok := &toks[i]
 		switch tok.Type {
 		case htmlparse.StartTagToken:
-			n := &Node{Tag: tok.Data, Attrs: tok.Attrs}
+			n := ar.newNode()
+			n.Tag = tok.Data
+			n.Attrs = tok.Attrs
+			n.tagCount = 1
 			appendChild(n)
 			stack = append(stack, n)
 		case htmlparse.EndTagToken:
 			// The stream is balanced; pop the matching element. Guard
 			// against malformed input anyway.
 			for len(stack) > 0 {
-				top := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				if top.Tag == tok.Data {
+				if pop().Tag == tok.Data {
 					break
 				}
 			}
@@ -60,8 +117,21 @@ func Build(toks []htmlparse.Token) (*Node, error) {
 			if text == "" {
 				continue
 			}
-			appendChild(&Node{Text: text})
+			n := ar.newNode()
+			n.Text = text
+			n.nodeSize = len(text)
+			n.tagCount = 1
+			appendChild(n)
+			// Content nodes never sit on the stack: fold immediately.
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				p.nodeSize += n.nodeSize
+				p.tagCount++
+			}
 		}
+	}
+	for len(stack) > 0 {
+		pop()
 	}
 
 	var root *Node
@@ -71,21 +141,52 @@ func Build(toks []htmlparse.Token) (*Node, error) {
 	case len(roots) == 1 && !roots[0].IsContent():
 		root = roots[0]
 	default:
-		root = &Node{Tag: "html"}
-		for _, r := range roots {
+		root = ar.newNode()
+		root.Tag = "html"
+		root.tagCount = 1
+		root.Children = make([]*Node, len(roots))
+		for i, r := range roots {
 			r.Parent = root
-			root.Children = append(root.Children, r)
+			r.Index = i + 1
+			root.Children[i] = r
+			root.nodeSize += r.nodeSize
+			root.tagCount += r.tagCount
 		}
 	}
 	root.Index = 1
-	root.finalize()
 	return root, nil
 }
 
 // collapseSpace trims text and collapses internal whitespace runs to single
 // spaces, the usual HTML rendering model. Returns "" for whitespace-only
-// input.
+// input. Text that is already collapsed ASCII — the overwhelmingly common
+// case — is returned unchanged without allocating.
 func collapseSpace(s string) string {
+	prevSpace := true // a space at position 0 is a leading space
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ':
+			if prevSpace {
+				return collapseSpaceSlow(s)
+			}
+			prevSpace = true
+		case c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v' || c >= 0x80:
+			// Other whitespace always needs rewriting; non-ASCII may hold
+			// unicode spaces, which the slow path handles exactly.
+			return collapseSpaceSlow(s)
+		default:
+			prevSpace = false
+		}
+	}
+	if prevSpace {
+		// Trailing space (or empty input) needs a trim.
+		return collapseSpaceSlow(s)
+	}
+	return s
+}
+
+func collapseSpaceSlow(s string) string {
 	return strings.Join(strings.Fields(s), " ")
 }
 

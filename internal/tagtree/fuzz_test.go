@@ -1,0 +1,55 @@
+// External test package: the fuzz seeds come from the corpus generator,
+// which depends on tagtree, so an internal test package would cycle.
+package tagtree_test
+
+import (
+	"testing"
+
+	"omini/internal/corpus"
+	"omini/internal/sitegen"
+	"omini/internal/tagtree"
+)
+
+// FuzzParse checks Phase 1 end to end on arbitrary bytes: Parse must never
+// panic, must never return a nil root without an error, and every tree it
+// does return must satisfy the structural invariants (metrics matching a
+// fresh recount, correct Parent/Index links, acyclic) that the single-pass
+// arena builder promises.
+func FuzzParse(f *testing.F) {
+	f.Add(corpus.BenchPage("small").HTML)
+	f.Add(sitegen.Canoe().HTML)
+	f.Add(sitegen.LOC().HTML)
+	for _, s := range []string{
+		"",
+		"just text, no tags at all",
+		"<td><td><td>",
+		"<p>a<p>b<p>c",
+		"<html><html><body><body>x",
+		"</div></div>",
+		"<b><i>overlap</b></i>",
+		"<table><tr><td>1<tr><td>2</table>",
+		"<ul><li>a<li>b</ul><ol><li>c</ol>",
+		"<script>a<b</script>after",
+		"<!-- only a comment -->",
+		"<br><br/><hr>",
+		"text<div>more</div>text",
+		"\x00<\x80>\xff",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		root, err := tagtree.Parse(src)
+		if err != nil {
+			if root != nil {
+				t.Fatalf("Parse returned both a root and error %v", err)
+			}
+			return
+		}
+		if root == nil {
+			t.Fatal("Parse returned nil root without an error")
+		}
+		if err := tagtree.Validate(root); err != nil {
+			t.Fatalf("invalid tree for %q: %v", src, err)
+		}
+	})
+}

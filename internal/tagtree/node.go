@@ -174,8 +174,9 @@ func (n *Node) FindAll(tag string) []*Node {
 	return out
 }
 
-// finalize computes the cached metrics for the subtree anchored at n and
-// assigns child indexes. Called once by the builder.
+// finalize recomputes the cached metrics for the subtree anchored at n and
+// assigns child indexes. The builder computes metrics in its single pass;
+// finalize remains for tests that hand-assemble trees.
 func (n *Node) finalize() {
 	if n.IsContent() {
 		n.nodeSize = len(n.Text)

@@ -36,13 +36,19 @@ func Normalize(src string) string {
 // "body". Comments, doctypes and processing instructions are dropped, as
 // the paper's tag tree contains only tag and content nodes.
 func NormalizeTokens(src string) []htmlparse.Token {
-	raw := htmlparse.Tokenize(src)
-	n := &normalizer{out: make([]htmlparse.Token, 0, len(raw)*2)}
-	for i := range raw {
-		tok := &raw[i]
+	// Stream straight off the lexer instead of materializing the raw token
+	// slice first: the normalizer is the only consumer, and the raw stream
+	// of a large page is hundreds of kilobytes of short-lived tokens.
+	lx := htmlparse.NewLexer(src)
+	n := &normalizer{out: make([]htmlparse.Token, 0, len(src)/12+16)}
+	for {
+		tok, ok := lx.Next()
+		if !ok {
+			break
+		}
 		switch tok.Type {
 		case htmlparse.TextToken:
-			n.text(tok)
+			n.text(&tok)
 		case htmlparse.StartTagToken:
 			n.start(tok.Data, tok.Attrs)
 		case htmlparse.SelfClosingTagToken:

@@ -24,4 +24,19 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Fuzz smoke: each target runs briefly so a lexer or builder regression that
+# panics on malformed input fails the merge, without the cost of a long
+# campaign. FUZZTIME=0 skips (e.g. on machines without the fuzz cache).
+FUZZTIME="${FUZZTIME:-10s}"
+if [ "$FUZZTIME" != "0" ]; then
+    echo "==> fuzz smoke (${FUZZTIME} per target)"
+    go test -run '^$' -fuzz '^FuzzTokenize$' -fuzztime "$FUZZTIME" ./internal/htmlparse/
+    go test -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME" ./internal/tagtree/
+fi
+
+# Bench smoke: one iteration of every benchmark proves the harness still
+# compiles and runs; timing is scripts/bench.sh's job.
+echo "==> bench smoke (-benchtime=1x)"
+go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
 echo "==> ci.sh: all checks passed"
