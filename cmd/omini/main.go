@@ -4,10 +4,17 @@
 //	omini http://example.com/search?q=go
 //	omini -json page.html
 //	omini -tree page.html           # show the tag tree instead
+//	omini -trace page.html          # JSON decision trace: why this result
+//	omini -metrics page.html        # dump pipeline metrics to stderr
 //	omini -rules rules.json -site www.example.com page.html
 //
 // With -rules, discovered extraction rules are cached per site and replayed
-// on later runs (the paper's Section 6.6 fast path).
+// on later runs (the paper's Section 6.6 fast path). With -trace, the run
+// emits a JSON decision trace — subtree rankings, each separator
+// heuristic's votes, the combined probabilities, and per-phase wall/alloc
+// costs — explaining why the pipeline chose what it chose. With -metrics,
+// the process's metrics registry is written to stderr in Prometheus text
+// form after extraction.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"omini"
 	"omini/internal/fetch"
+	"omini/internal/obs"
 	"omini/internal/resilience"
 )
 
@@ -39,9 +47,10 @@ type objectJSON struct {
 }
 
 type resultJSON struct {
-	SubtreePath string       `json:"subtreePath"`
-	Separator   string       `json:"separator"`
-	Objects     []objectJSON `json:"objects"`
+	SubtreePath string             `json:"subtreePath"`
+	Separator   string             `json:"separator"`
+	Objects     []objectJSON       `json:"objects"`
+	Trace       *obs.DecisionTrace `json:"trace,omitempty"`
 }
 
 func run(w io.Writer, args []string) error {
@@ -54,6 +63,8 @@ func run(w io.Writer, args []string) error {
 		rulesPath = fs.String("rules", "", "JSON rule cache to read/update")
 		site      = fs.String("site", "", "site name for the rule cache (default: derived from URL)")
 		cacheDir  = fs.String("cache", "", "page cache directory for URL fetches")
+		trace     = fs.Bool("trace", false, "emit a JSON decision trace explaining the extraction")
+		metrics   = fs.Bool("metrics", false, "dump the metrics registry to stderr after extraction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,13 +96,22 @@ func run(w io.Writer, args []string) error {
 	}
 	extractor := omini.NewExtractor(opts...)
 
-	res, err := extractWithRules(extractor, html, *rulesPath, *site)
+	ctx := context.Background()
+	if *trace {
+		// One-shot CLI run: alloc sampling is cheap here and makes the
+		// per-phase costs complete.
+		ctx, _ = obs.WithTraceRecorder(ctx, true)
+	}
+	res, err := extractWithRules(ctx, extractor, html, *rulesPath, *site)
+	if *metrics {
+		defer func() { _ = obs.Default.WritePrometheus(os.Stderr) }()
+	}
 	if err != nil {
 		return err
 	}
 
-	if *asJSON {
-		out := resultJSON{SubtreePath: res.SubtreePath, Separator: res.Separator}
+	if *asJSON || *trace {
+		out := resultJSON{SubtreePath: res.SubtreePath, Separator: res.Separator, Trace: res.Trace}
 		for i, o := range res.Objects {
 			out.Objects = append(out.Objects, objectJSON{Index: i + 1, Text: o.Text(), Size: o.Size()})
 		}
@@ -108,10 +128,11 @@ func run(w io.Writer, args []string) error {
 }
 
 // extractWithRules runs the cached-rule fast path when a rule store is
-// configured, falling back to (and recording) full discovery.
-func extractWithRules(e *omini.Extractor, html, rulesPath, site string) (*omini.Result, error) {
+// configured, falling back to (and recording) full discovery. The context
+// carries the trace recorder when -trace asked for one.
+func extractWithRules(ctx context.Context, e *omini.Extractor, html, rulesPath, site string) (*omini.Result, error) {
 	if rulesPath == "" {
-		return e.ExtractResult(html)
+		return e.ExtractResultContext(ctx, html)
 	}
 	store, err := omini.LoadRules(rulesPath)
 	if err != nil {
@@ -121,16 +142,16 @@ func extractWithRules(e *omini.Extractor, html, rulesPath, site string) (*omini.
 		store = omini.NewRuleStore()
 	}
 	if rule, err := store.Get(site); err == nil {
-		if res, err := e.ExtractWithRule(html, rule); err == nil {
+		if res, err := e.ExtractWithRuleContext(ctx, html, rule); err == nil {
 			return res, nil
 		}
 		// The site changed shape; fall through to rediscovery.
 	}
-	res, rule, err := e.Learn(site, html)
+	res, err := e.ExtractResultContext(ctx, html)
 	if err != nil {
 		return nil, err
 	}
-	if err := store.Put(rule); err != nil {
+	if err := store.Put(res.Rule(site)); err != nil {
 		return nil, err
 	}
 	if err := store.Save(rulesPath); err != nil {

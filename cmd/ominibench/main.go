@@ -6,6 +6,7 @@
 //	ominibench -table 11            # the 26-combination sweep
 //	ominibench -table fig5,1,3      # canoe tree, subtree ranking, RP pairs
 //	ominibench -pages 10            # smaller corpus for a quick pass
+//	ominibench -metrics ...         # dump pipeline metrics to stderr after
 //
 // Absolute numbers depend on the synthetic corpus (see DESIGN.md §3); the
 // shapes — who wins, by how much, where the crossovers fall — reproduce the
@@ -24,6 +25,7 @@ import (
 	"omini/internal/core"
 	"omini/internal/corpus"
 	"omini/internal/eval"
+	"omini/internal/obs"
 	"omini/internal/separator"
 	"omini/internal/sitegen"
 	"omini/internal/subtree"
@@ -35,9 +37,17 @@ func main() {
 		tables  = flag.String("table", "all", "comma-separated experiments: fig1,fig5,1,2,3,5,6,8,10,11,13,14,15,16,17,19,20,subtree,objects,sites,confidence or 'all'")
 		pages   = flag.Int("pages", 0, "pages per site (0 = paper-sized corpus: 33 test / 60 experimental / 40 comparison)")
 		repeats = flag.Int("repeats", 10, "timing repetitions per page (Tables 16/17)")
+		metrics = flag.Bool("metrics", false, "dump the metrics registry (per-phase histograms, counters) to stderr after the run")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *tables, *pages, *repeats); err != nil {
+	err := run(os.Stdout, *tables, *pages, *repeats)
+	if *metrics {
+		// Every extraction the experiments ran recorded its phase spans in
+		// the default registry; the exposition shows the aggregate cost
+		// profile of the whole suite.
+		_ = obs.Default.WritePrometheus(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ominibench:", err)
 		os.Exit(1)
 	}

@@ -13,23 +13,29 @@
 // Endpoints:
 //
 //	POST /extract?site=S   -> objects, subtree path, separator, confidence
+//	POST /extract?trace=1  -> same, plus the inline JSON decision trace
 //	POST /records?site=S   -> wrapper records (named fields); learns the
 //	                          site's wrapper on first use
 //	GET  /rules            -> the cached extraction rules as JSON
 //	GET  /healthz          -> liveness
-//	GET  /statsz           -> resilience counters (shed, panics, caches)
+//	GET  /statsz           -> JSON counter snapshot of the metrics registry
+//	GET  /metricsz         -> Prometheus-style exposition: counters, gauges,
+//	                          per-phase latency histograms with p50/p95/p99
+//	GET  /debug/pprof/*    -> the Go runtime profiles
 //
-// The service is hardened for production traffic: panics become 500s,
-// load past -max-inflight is shed with 429 + Retry-After, every request
-// runs under -request-timeout, and SIGTERM/SIGINT trigger a graceful
-// shutdown that drains in-flight extractions for up to -shutdown-grace.
+// The service is hardened for production traffic: panics become 500s (and
+// are counted and stack-logged), load past -max-inflight is shed with 429 +
+// Retry-After, every request runs under -request-timeout, and
+// SIGTERM/SIGINT trigger a graceful shutdown that drains in-flight
+// extractions for up to -shutdown-grace. All logging is structured JSON on
+// stderr (one object per line), filtered by -log-level; each request emits
+// one access-log line carrying its decision summary.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -37,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"omini/internal/obs"
 	"omini/internal/serve"
 )
 
@@ -47,8 +54,12 @@ func main() {
 		inflight = flag.Int("max-inflight", 256, "concurrent extraction cap; excess requests get 429 (negative = unlimited)")
 		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative = none)")
 		grace    = flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGTERM")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+	obs.SetDefaultLogger(logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -57,14 +68,17 @@ func main() {
 		MaxBodyBytes:   *maxBytes,
 		MaxInFlight:    *inflight,
 		RequestTimeout: *reqTO,
+		Logger:         logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ominiserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("ominiserve listening on %s", ln.Addr())
-	if err := serveUntilDone(ctx, ln, srv, *grace); err != nil {
+	// The "addr" field is load-bearing: with -addr :0, scripts (see
+	// scripts/ci.sh) parse it to find the chosen port.
+	logger.Info("ominiserve listening", "addr", ln.Addr().String())
+	if err := serveUntilDone(ctx, ln, srv, logger, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "ominiserve:", err)
 		os.Exit(1)
 	}
@@ -73,7 +87,7 @@ func main() {
 // serveUntilDone serves on ln until ctx is cancelled (SIGTERM/SIGINT),
 // then shuts down gracefully: the listener closes immediately while
 // in-flight requests get up to grace to finish draining.
-func serveUntilDone(ctx context.Context, ln net.Listener, handler http.Handler, grace time.Duration) error {
+func serveUntilDone(ctx context.Context, ln net.Listener, handler http.Handler, logger *obs.Logger, grace time.Duration) error {
 	server := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -86,12 +100,12 @@ func serveUntilDone(ctx context.Context, ln net.Listener, handler http.Handler, 
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	}
-	log.Printf("ominiserve: shutdown requested, draining for up to %v", grace)
+	logger.Info("shutdown requested", "grace", grace)
 	sctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := server.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	log.Printf("ominiserve: drained, exiting")
+	logger.Info("drained, exiting")
 	return nil
 }

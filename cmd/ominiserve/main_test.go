@@ -8,8 +8,14 @@ import (
 	"testing"
 	"time"
 
+	"omini/internal/obs"
 	"omini/internal/serve"
 )
+
+// quietLogger swallows log output so test runs stay readable.
+func quietLogger() *obs.Logger {
+	return obs.NewLogger(io.Discard, obs.LevelError)
+}
 
 // TestGracefulShutdownDrainsInFlight proves the SIGTERM path: once
 // shutdown begins, new connections are refused but the in-flight request
@@ -30,7 +36,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serveUntilDone(ctx, ln, handler, 5*time.Second) }()
+	go func() { serveDone <- serveUntilDone(ctx, ln, handler, quietLogger(), 5*time.Second) }()
 
 	reqDone := make(chan string, 1)
 	go func() {
@@ -77,7 +83,9 @@ func TestServeUntilDoneRunsRealService(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveUntilDone(ctx, ln, serve.New(serve.Config{}), time.Second) }()
+	go func() {
+		done <- serveUntilDone(ctx, ln, serve.New(serve.Config{Logger: quietLogger()}), quietLogger(), time.Second)
+	}()
 
 	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
 	if err != nil {

@@ -90,8 +90,18 @@ func rankAllWith(st *separator.Stats, heuristics []separator.Heuristic) []Ranked
 // tag's first appearance among the subtree's children. One Stats index over
 // the subtree serves every heuristic and the tie-break map.
 func Combine(sub *tagtree.Node, heuristics []separator.Heuristic, table ProbTable) []Candidate {
+	cands, _ := CombineDetailed(sub, heuristics, table)
+	return cands
+}
+
+// CombineDetailed is Combine, additionally returning each heuristic's own
+// ranking (already computed as the combination's input). The lists feed the
+// decision trace: per-heuristic candidate rankings with scores, at no cost
+// beyond what Combine already does.
+func CombineDetailed(sub *tagtree.Node, heuristics []separator.Heuristic, table ProbTable) ([]Candidate, []RankedList) {
 	st := separator.NewStats(sub)
-	return CombineLists(rankAllWith(st, heuristics), table, st.FirstIndex())
+	lists := rankAllWith(st, heuristics)
+	return CombineLists(lists, table, st.FirstIndex()), lists
 }
 
 // CombineLists merges pre-computed heuristic rankings, as Combine does.

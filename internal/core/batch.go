@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"omini/internal/obs"
 	"omini/internal/rules"
 )
 
@@ -80,7 +81,7 @@ func (e *Extractor) ExtractBatch(ctx context.Context, reqs []BatchRequest, opts 
 			defer wg.Done()
 			for i := range next {
 				req := reqs[i]
-				results[i] = e.extractOne(req, store)
+				results[i] = e.extractOne(ctx, req, store)
 			}
 		}()
 	}
@@ -106,17 +107,26 @@ dispatch:
 
 // extractOne serves a single batch request through the rule cache. A panic
 // anywhere in the pipeline is isolated to this page: one pathological page
-// yields one error result, never a dead worker pool.
-func (e *Extractor) extractOne(req BatchRequest, store *rules.Store) (out BatchResult) {
+// yields one error result, never a dead worker pool. The context's metrics
+// registry receives per-page counters — exactly one of core.batch_pages
+// per request, plus core.batch_errors / core.batch_rule_hits /
+// core.batch_panics as they apply — so an operator can reconcile a batch's
+// results against /metricsz.
+func (e *Extractor) extractOne(ctx context.Context, req BatchRequest, store *rules.Store) (out BatchResult) {
+	reg := obs.RegistryFrom(ctx)
+	reg.Add("core.batch_pages", 1)
 	defer func() {
 		if r := recover(); r != nil {
+			reg.Add("core.batch_panics", 1)
+			reg.Add("core.batch_errors", 1)
 			out = BatchResult{Site: req.Site, Err: fmt.Errorf("%w: %v", ErrPanicked, r)}
 		}
 	}()
 	out = BatchResult{Site: req.Site}
 	if req.Site != "" {
 		if rule, err := store.Get(req.Site); err == nil {
-			if res, err := e.ExtractWithRule(req.HTML, rule); err == nil {
+			if res, err := e.ExtractWithRuleContext(ctx, req.HTML, rule); err == nil {
+				reg.Add("core.batch_rule_hits", 1)
 				out.Result = res
 				out.FromRule = true
 				return out
@@ -124,8 +134,9 @@ func (e *Extractor) extractOne(req BatchRequest, store *rules.Store) (out BatchR
 			// Stale rule; rediscover below and refresh.
 		}
 	}
-	res, err := e.Extract(req.HTML)
+	res, err := e.ExtractContext(ctx, req.HTML)
 	if err != nil {
+		reg.Add("core.batch_errors", 1)
 		out.Err = err
 		return out
 	}

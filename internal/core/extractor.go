@@ -5,9 +5,17 @@
 // objects and refine them. It also implements the cached-rule fast path of
 // Section 6.6 and records per-phase timings for the Table 16/17
 // experiments.
+//
+// Every phase runs under an obs span (tokenize → tidy → build → subtree →
+// separator → extract), so extractions feed per-phase latency histograms
+// in the context's metrics registry; attach an obs.TraceRecorder to the
+// context and the result additionally carries a full decision trace —
+// which subtrees ranked where, how each separator heuristic voted, and
+// what the combination concluded.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,10 +23,12 @@ import (
 	"omini/internal/combine"
 	"omini/internal/extract"
 	"omini/internal/htmlparse"
+	"omini/internal/obs"
 	"omini/internal/rules"
 	"omini/internal/separator"
 	"omini/internal/subtree"
 	"omini/internal/tagtree"
+	"omini/internal/tidy"
 )
 
 // Errors the pipeline can return.
@@ -105,6 +115,9 @@ type Result struct {
 	Tree *tagtree.Node
 	// Timing is the per-phase cost of this extraction.
 	Timing Timing
+	// Trace is the decision trace of this extraction, present only when
+	// the extraction ran under a context carrying an obs.TraceRecorder.
+	Trace *obs.DecisionTrace
 }
 
 // Rule converts the result into a cacheable extraction rule for the site.
@@ -119,82 +132,123 @@ func (r *Result) Rule(site string) rules.Rule {
 
 // Extract runs the full discovery pipeline on raw HTML.
 func (e *Extractor) Extract(html string) (*Result, error) {
+	return e.ExtractContext(context.Background(), html)
+}
+
+// ExtractContext is Extract under a caller context: phase spans land in the
+// context's metrics registry, and when the context carries a trace
+// recorder (obs.WithTraceRecorder) the result's Trace explains the
+// decisions.
+func (e *Extractor) ExtractContext(ctx context.Context, html string) (*Result, error) {
+	reg := obs.RegistryFrom(ctx)
+	reg.Add("core.extractions", 1)
 	res := &Result{}
-	root, err := e.parse(html, res)
+	root, err := e.parse(ctx, html, res)
 	if err != nil {
+		reg.Add("core.errors", 1)
 		return nil, err
 	}
 
-	start := time.Now()
+	_, sp := obs.StartSpan(ctx, "subtree")
+	ranked := e.opts.Subtree.Rank(root)
 	sub := root
-	if ranked := e.opts.Subtree.Rank(root); len(ranked) > 0 {
+	if len(ranked) > 0 {
 		sub = ranked[0].Node
 	}
-	res.Timing.Subtree = time.Since(start)
+	sp.End()
+	res.Timing.Subtree = sp.Duration()
 	res.SubtreePath = tagtree.Path(sub)
 
-	start = time.Now()
-	cands := combine.Combine(sub, e.opts.Separators, e.opts.Probs)
-	res.Timing.Separator = time.Since(start)
+	_, sp = obs.StartSpan(ctx, "separator")
+	cands, lists := combine.CombineDetailed(sub, e.opts.Separators, e.opts.Probs)
+	sp.End()
+	res.Timing.Separator = sp.Duration()
 	// The paper times "Object Separator" (running the heuristics) apart
 	// from "Combine Heuristics" (merging the rankings); here both happen
-	// inside combine.Combine, so the split is attributed to Separator and
-	// Combine records only the final candidate selection.
-	start = time.Now()
+	// inside combine.CombineDetailed, so the split is attributed to
+	// Separator and Combine records only the final candidate selection.
+	start := time.Now()
 	if len(cands) == 0 {
+		reg.Add("core.errors", 1)
 		return nil, fmt.Errorf("%w (subtree %s)", ErrNoObjects, res.SubtreePath)
 	}
 	res.Candidates = cands
 	res.Separator = cands[0].Tag
 	res.Timing.Combine = time.Since(start)
 
-	e.construct(sub, res)
+	e.construct(ctx, sub, res)
+	if rec := obs.TraceRecorderFrom(ctx); rec != nil {
+		res.Trace = buildTrace(res, ranked, lists, rec)
+	}
 	return res, nil
 }
 
 // ExtractWithRule replays a cached rule on raw HTML, skipping subtree and
 // separator discovery (the Table 17 fast path).
 func (e *Extractor) ExtractWithRule(html string, rule rules.Rule) (*Result, error) {
+	return e.ExtractWithRuleContext(context.Background(), html, rule)
+}
+
+// ExtractWithRuleContext is ExtractWithRule under a caller context, with
+// the same span and trace behavior as ExtractContext.
+func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rule rules.Rule) (*Result, error) {
+	reg := obs.RegistryFrom(ctx)
+	reg.Add("core.rule_extractions", 1)
 	if !rule.Valid() {
+		reg.Add("core.rule_mismatches", 1)
 		return nil, fmt.Errorf("%w: rule is incomplete", ErrRuleMismatch)
 	}
 	res := &Result{}
-	root, err := e.parse(html, res)
+	root, err := e.parse(ctx, html, res)
 	if err != nil {
+		reg.Add("core.errors", 1)
 		return nil, err
 	}
 
-	start := time.Now()
+	_, sp := obs.StartSpan(ctx, "subtree")
 	sub := tagtree.FindPath(root, rule.SubtreePath)
-	res.Timing.Subtree = time.Since(start)
+	sp.End()
+	res.Timing.Subtree = sp.Duration()
 	if sub == nil {
+		reg.Add("core.rule_mismatches", 1)
 		return nil, fmt.Errorf("%w: path %s", ErrRuleMismatch, rule.SubtreePath)
 	}
 	res.SubtreePath = rule.SubtreePath
 	res.Separator = rule.Separator
 
-	e.construct(sub, res)
+	e.construct(ctx, sub, res)
 	if len(res.Raw) == 0 {
+		reg.Add("core.rule_mismatches", 1)
 		return nil, fmt.Errorf("%w: separator %q absent", ErrRuleMismatch, rule.Separator)
+	}
+	if rec := obs.TraceRecorderFrom(ctx); rec != nil {
+		res.Trace = buildTrace(res, nil, nil, rec)
+		res.Trace.FromRule = true
 	}
 	return res, nil
 }
 
-// parse runs Phase 1 (normalization + tag tree construction) and records
-// its timing.
-func (e *Extractor) parse(html string, res *Result) (*tagtree.Node, error) {
-	start := time.Now()
-	var (
-		root *tagtree.Node
-		err  error
-	)
-	if e.opts.SkipNormalize {
-		// Raw token streams are unbalanced; Build recovers what it can.
-		root, err = tagtree.Build(htmlparse.Tokenize(html))
-	} else {
-		root, err = tagtree.Parse(html)
+// parse runs Phase 1 — lexing, syntactic normalization, tag tree
+// construction — as three observable spans, and records its combined
+// timing. Splitting tokenize from tidy costs one transient raw-token slice
+// relative to the fused streaming path; the per-phase visibility is the
+// point (DESIGN.md §9).
+func (e *Extractor) parse(ctx context.Context, html string, res *Result) (*tagtree.Node, error) {
+	parseStart := time.Now()
+	_, sp := obs.StartSpan(ctx, "tokenize")
+	toks := htmlparse.Tokenize(html)
+	sp.End()
+	if !e.opts.SkipNormalize {
+		_, sp = obs.StartSpan(ctx, "tidy")
+		toks = tidy.NormalizeTokensFrom(toks)
+		sp.End()
 	}
-	res.Timing.Parse = time.Since(start)
+	// With SkipNormalize the raw stream is unbalanced; Build recovers what
+	// it can.
+	_, sp = obs.StartSpan(ctx, "build")
+	root, err := tagtree.Build(toks)
+	sp.End()
+	res.Timing.Parse = time.Since(parseStart)
 	if err != nil {
 		return nil, fmt.Errorf("core: parse: %w", err)
 	}
@@ -203,12 +257,55 @@ func (e *Extractor) parse(html string, res *Result) (*tagtree.Node, error) {
 }
 
 // construct runs Phase 3 and records its timing.
-func (e *Extractor) construct(sub *tagtree.Node, res *Result) {
-	start := time.Now()
+func (e *Extractor) construct(ctx context.Context, sub *tagtree.Node, res *Result) {
+	_, sp := obs.StartSpan(ctx, "extract")
 	res.Raw = extract.Construct(sub, res.Separator)
 	res.Objects = res.Raw
 	if !e.opts.SkipRefine {
 		res.Objects = extract.Refine(res.Raw, e.opts.Refine)
 	}
-	res.Timing.Construct = time.Since(start)
+	sp.End()
+	res.Timing.Construct = sp.Duration()
+}
+
+// traceTopN caps ranked lists in the decision trace; beyond the first few
+// candidates the rankings carry no decision weight (the probability tables
+// stop at rank 5).
+const traceTopN = 5
+
+// buildTrace assembles the decision trace from the discovery state. ranked
+// and lists are nil on the cached-rule path, which skips discovery.
+func buildTrace(res *Result, ranked []subtree.Ranked, lists []combine.RankedList, rec *obs.TraceRecorder) *obs.DecisionTrace {
+	tr := &obs.DecisionTrace{
+		SubtreePath: res.SubtreePath,
+		Separator:   res.Separator,
+		Confidence:  res.Confidence(),
+		Objects:     len(res.Objects),
+	}
+	for i, r := range ranked {
+		if i >= traceTopN {
+			break
+		}
+		tr.SubtreeRanking = append(tr.SubtreeRanking, obs.RankedItem{
+			Rank: i + 1, Key: tagtree.Path(r.Node), Score: r.Score,
+		})
+	}
+	for _, list := range lists {
+		rk := obs.Ranking{Name: list.Name}
+		for i, r := range list.Ranked {
+			if i >= traceTopN {
+				break
+			}
+			rk.Items = append(rk.Items, obs.RankedItem{Rank: i + 1, Key: r.Tag, Score: r.Score})
+		}
+		tr.SeparatorRankings = append(tr.SeparatorRankings, rk)
+	}
+	for i, c := range res.Candidates {
+		if i >= traceTopN {
+			break
+		}
+		tr.Combined = append(tr.Combined, obs.RankedItem{Rank: i + 1, Key: c.Tag, Score: c.Prob})
+	}
+	tr.Phases = rec.Spans()
+	return tr
 }

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"omini/internal/obs"
 	"omini/internal/resilience"
 )
 
@@ -55,12 +56,17 @@ const defaultMaxBytes = 8 << 20
 
 // Fetch returns the page body for the URL, reading through the cache when
 // one is configured and applying the Retry policy and host Breakers when
-// they are set.
+// they are set. Outcomes land in the context's metrics registry
+// (fetch.cache_hits / fetch.cache_misses / fetch.success / fetch.failures),
+// so a serving process shows its acquisition behavior on /metricsz.
 func (f *Fetcher) Fetch(ctx context.Context, url string) (string, error) {
+	reg := obs.RegistryFrom(ctx)
 	if f.CacheDir != "" {
 		if body, err := os.ReadFile(f.cachePath(url)); err == nil {
+			reg.Add("fetch.cache_hits", 1)
 			return string(body), nil
 		}
+		reg.Add("fetch.cache_misses", 1)
 	}
 	var breaker *resilience.Breaker
 	if f.Breakers != nil {
@@ -92,8 +98,10 @@ func (f *Fetcher) Fetch(ctx context.Context, url string) (string, error) {
 		return err
 	})
 	if err != nil {
+		reg.Add("fetch.failures", 1)
 		return "", err
 	}
+	reg.Add("fetch.success", 1)
 	if f.CacheDir != "" {
 		if err := f.store(url, body); err != nil {
 			return "", err

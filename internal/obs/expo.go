@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus-style text exposition. Registry names use friendly dotted
+// forms internally; exposition sanitizes them ("serve.panics" →
+// "serve_panics") and groups labeled histogram series
+// (`omini_phase_seconds{phase="tidy"}`) under one family with the standard
+// _bucket/_sum/_count series, plus estimated p50/p95/p99 as a companion
+// gauge family so dashboards get quantiles without server-side PromQL.
+
+// quantiles reported for every histogram family.
+var expoQuantiles = []struct {
+	label string
+	q     float64
+}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}}
+
+// sanitizeName maps a registry name to a legal Prometheus metric name.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitSeries separates a series name into its family and label block:
+// `phase_seconds{phase="tidy"}` → ("phase_seconds", `phase="tidy"`).
+func splitSeries(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	family = name[:i]
+	labels = strings.TrimSuffix(name[i+1:], "}")
+	return family, labels
+}
+
+// joinLabels merges existing labels with one extra pair into a rendered
+// label block (with braces), or "" when empty.
+func joinLabels(labels, extraKey, extraVal string) string {
+	var parts []string
+	if labels != "" {
+		parts = append(parts, labels)
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraKey, extraVal))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format: counters and gauges as-is, histograms as _bucket/_sum/_count plus
+// a <family>_quantile gauge family with p50/p95/p99 estimates. Output is
+// sorted so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Load()
+	}
+	gauges := make(map[string]float64, len(r.gauges)+len(r.gaugefns))
+	for name, g := range r.gauges {
+		gauges[name] = float64(g.Load())
+	}
+	fns := make(map[string]func() float64, len(r.gaugefns))
+	for name, fn := range r.gaugefns {
+		fns[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.RUnlock()
+	// Computed gauges run outside the lock: they may call back into code
+	// that touches the registry.
+	for name, fn := range fns {
+		gauges[name] = fn()
+	}
+
+	var b strings.Builder
+	writeScalars := func(kind string, m map[string]float64, format func(float64) string) {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			family, labels := splitSeries(name)
+			family = sanitizeName(family)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", family, kind)
+			fmt.Fprintf(&b, "%s%s %s\n", family, joinLabels(labels, "", ""), format(m[name]))
+		}
+	}
+	cm := make(map[string]float64, len(counters))
+	for name, v := range counters {
+		cm[name] = float64(v)
+	}
+	writeScalars("counter", cm, func(v float64) string { return strconv.FormatInt(int64(v), 10) })
+	writeScalars("gauge", gauges, formatFloat)
+
+	// Histograms: group series by family so each family gets one TYPE line.
+	byFamily := make(map[string][]string)
+	for name := range hists {
+		family, _ := splitSeries(name)
+		byFamily[family] = append(byFamily[family], name)
+	}
+	families := make([]string, 0, len(byFamily))
+	for f := range byFamily {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, family := range families {
+		series := byFamily[family]
+		sort.Strings(series)
+		fam := sanitizeName(family)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		for _, name := range series {
+			_, labels := splitSeries(name)
+			s := hists[name].Snapshot()
+			var cum int64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					fam, joinLabels(labels, "le", formatFloat(bound)), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, joinLabels(labels, "le", "+Inf"), s.Count)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", fam, joinLabels(labels, "", ""), formatFloat(s.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", fam, joinLabels(labels, "", ""), s.Count)
+		}
+		fmt.Fprintf(&b, "# TYPE %s_quantile gauge\n", fam)
+		for _, name := range series {
+			_, labels := splitSeries(name)
+			s := hists[name].Snapshot()
+			for _, eq := range expoQuantiles {
+				fmt.Fprintf(&b, "%s_quantile%s %s\n",
+					fam, joinLabels(labels, "quantile", eq.label), formatFloat(s.Quantile(eq.q)))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

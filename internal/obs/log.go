@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level for output and flag parsing.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// ParseLevel maps a level name to its Level; unknown names select
+// LevelInfo.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "info":
+		return LevelInfo
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	}
+	return LevelInfo
+}
+
+// Logger is a leveled structured logger emitting one JSON object per line:
+//
+//	{"ts":"2026-08-05T12:00:00.000Z","level":"info","msg":"listening","addr":":8800"}
+//
+// Key/value pairs come as alternating arguments (slog-style); a trailing
+// odd key gets the value "!MISSING". Safe for concurrent use. The zero
+// Logger is unusable; construct with NewLogger.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+	// now is overridable for tests.
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing records at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level, now: time.Now}
+}
+
+// defaultLogger guards the process-wide fallback.
+var (
+	defaultLoggerMu sync.RWMutex
+	defaultLogger   = NewLogger(os.Stderr, LevelInfo)
+)
+
+// DefaultLogger returns the process-wide logger (stderr, info) unless
+// SetDefaultLogger replaced it.
+func DefaultLogger() *Logger {
+	defaultLoggerMu.RLock()
+	defer defaultLoggerMu.RUnlock()
+	return defaultLogger
+}
+
+// SetDefaultLogger replaces the process-wide logger; nil is ignored.
+func SetDefaultLogger(l *Logger) {
+	if l == nil {
+		return
+	}
+	defaultLoggerMu.Lock()
+	defaultLogger = l
+	defaultLoggerMu.Unlock()
+}
+
+// Enabled reports whether records at lv would be written.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.level
+}
+
+// Log writes one record at lv with alternating key/value pairs.
+func (l *Logger) Log(lv Level, msg string, kv ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	rec := make(map[string]any, len(kv)/2+3)
+	rec["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	rec["level"] = lv.String()
+	rec["msg"] = msg
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		if i+1 < len(kv) {
+			rec[key] = jsonSafe(kv[i+1])
+		} else {
+			rec[key] = "!MISSING"
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		line = []byte(fmt.Sprintf(`{"level":%q,"msg":%q,"logError":%q}`, lv.String(), msg, err))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(append(line, '\n'))
+}
+
+// jsonSafe converts values json.Marshal would reject (errors, arbitrary
+// types) into strings.
+func jsonSafe(v any) any {
+	switch x := v.(type) {
+	case nil, bool, string,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64, json.Marshaler:
+		return x
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	default:
+		if _, err := json.Marshal(x); err != nil {
+			return fmt.Sprint(x)
+		}
+		return x
+	}
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.Log(LevelInfo, msg, kv...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.Log(LevelWarn, msg, kv...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }

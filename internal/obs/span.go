@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PhaseFamily is the histogram family every span's wall time lands in, one
+// labeled series per span name. /metricsz therefore exposes a latency
+// histogram per pipeline phase with no per-phase registration code.
+const PhaseFamily = "omini_phase_seconds"
+
+// PhaseSeries returns the registry series name for one phase's latency
+// histogram.
+func PhaseSeries(phase string) string {
+	return fmt.Sprintf("%s{phase=%q}", PhaseFamily, phase)
+}
+
+// PhaseSample is one completed span as recorded in a trace: its name, its
+// position in the span tree, wall time, and (when the recorder samples
+// allocations) the process-wide allocation delta across the span.
+type PhaseSample struct {
+	// Name is the span name ("tokenize", "tidy", ...).
+	Name string `json:"name"`
+	// Parent is the enclosing span's name ("" at the root).
+	Parent string `json:"parent,omitempty"`
+	// Depth is the nesting depth (0 at the root).
+	Depth int `json:"depth"`
+	// DurationNS is the span's wall time in nanoseconds.
+	DurationNS int64 `json:"durationNs"`
+	// AllocBytes and Allocs are the process-wide heap-allocation deltas
+	// over the span (approximate under concurrency; exact when the traced
+	// extraction runs alone, which is how traces are usually taken).
+	AllocBytes int64 `json:"allocBytes,omitempty"`
+	Allocs     int64 `json:"allocs,omitempty"`
+}
+
+// TraceRecorder accumulates the completed spans of one traced operation.
+// Attach one to a context with WithTraceRecorder; spans started under that
+// context report into it. Safe for concurrent use.
+type TraceRecorder struct {
+	// SampleAllocs enables per-span allocation deltas via
+	// runtime.ReadMemStats. The read briefly stops the world, so it is
+	// opt-in and meant for interactive tracing, not steady-state serving.
+	SampleAllocs bool
+
+	mu    sync.Mutex
+	spans []PhaseSample
+}
+
+// Spans returns the recorded samples in completion order.
+func (tr *TraceRecorder) Spans() []PhaseSample {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]PhaseSample, len(tr.spans))
+	copy(out, tr.spans)
+	return out
+}
+
+func (tr *TraceRecorder) add(s PhaseSample) {
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, s)
+	tr.mu.Unlock()
+}
+
+type recorderKey struct{}
+type spanKey struct{}
+
+// WithTraceRecorder returns a context carrying a fresh TraceRecorder and
+// the recorder itself. sampleAllocs additionally records per-span
+// allocation deltas (see TraceRecorder.SampleAllocs).
+func WithTraceRecorder(ctx context.Context, sampleAllocs bool) (context.Context, *TraceRecorder) {
+	tr := &TraceRecorder{SampleAllocs: sampleAllocs}
+	return context.WithValue(ctx, recorderKey{}, tr), tr
+}
+
+// TraceRecorderFrom returns the context's recorder, or nil when the
+// operation is not being traced.
+func TraceRecorderFrom(ctx context.Context) *TraceRecorder {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(recorderKey{}).(*TraceRecorder)
+	return tr
+}
+
+// Span is one in-flight timed region. Created by StartSpan; End records it
+// into the context's registry histogram and trace recorder.
+type Span struct {
+	name   string
+	parent string
+	depth  int
+	start  time.Time
+	dur    time.Duration
+	reg    *Registry
+	rec    *TraceRecorder
+	mem0   runtime.MemStats
+	ended  bool
+}
+
+// StartSpan begins a named span under ctx and returns a derived context
+// (carrying the span, so nested StartSpan calls see their parent) plus the
+// span itself. The span's wall time always lands in the context registry's
+// per-phase histogram; when the context carries a TraceRecorder the span is
+// also appended to the trace. Always pair with End:
+//
+//	ctx, sp := obs.StartSpan(ctx, "tidy")
+//	... phase work ...
+//	sp.End()
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{
+		name: name,
+		reg:  RegistryFrom(ctx),
+		rec:  TraceRecorderFrom(ctx),
+	}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp.parent = parent.name
+		sp.depth = parent.depth + 1
+	}
+	if sp.rec != nil && sp.rec.SampleAllocs {
+		runtime.ReadMemStats(&sp.mem0)
+	}
+	sp.start = time.Now()
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// End completes the span, recording wall time (and alloc deltas when
+// sampled) into the registry and recorder. End is idempotent; only the
+// first call records.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.reg.Observe(PhaseSeries(s.name), s.dur.Seconds())
+	if s.rec == nil {
+		return
+	}
+	sample := PhaseSample{
+		Name:       s.name,
+		Parent:     s.parent,
+		Depth:      s.depth,
+		DurationNS: s.dur.Nanoseconds(),
+	}
+	if s.rec.SampleAllocs {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		sample.AllocBytes = int64(m.TotalAlloc - s.mem0.TotalAlloc)
+		sample.Allocs = int64(m.Mallocs - s.mem0.Mallocs)
+	}
+	s.rec.add(sample)
+}
+
+// Duration returns the span's recorded wall time (0 before End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}

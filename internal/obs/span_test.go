@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSpanRecordsIntoRegistryAndRecorder(t *testing.T) {
+	r := NewRegistry()
+	ctx := WithRegistry(context.Background(), r)
+	ctx, rec := WithTraceRecorder(ctx, false)
+
+	_, sp := StartSpan(ctx, "tidy")
+	sp.End()
+
+	h := r.Histogram(PhaseSeries("tidy"))
+	if h.Count() != 1 {
+		t.Errorf("histogram count = %d, want 1", h.Count())
+	}
+	spans := rec.Spans()
+	if len(spans) != 1 || spans[0].Name != "tidy" {
+		t.Fatalf("spans = %+v, want one 'tidy' span", spans)
+	}
+	if spans[0].DurationNS < 0 {
+		t.Errorf("negative duration %d", spans[0].DurationNS)
+	}
+	if sp.Duration() <= 0 {
+		t.Errorf("Duration() = %v, want > 0", sp.Duration())
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	ctx := WithRegistry(context.Background(), NewRegistry())
+	ctx, rec := WithTraceRecorder(ctx, false)
+
+	ctx1, parent := StartSpan(ctx, "parse")
+	ctx2, child := StartSpan(ctx1, "tokenize")
+	_, grandchild := StartSpan(ctx2, "entities")
+	grandchild.End()
+	child.End()
+	// A sibling started from the parent's context nests under "parse",
+	// not under the already-ended "tokenize".
+	_, sibling := StartSpan(ctx1, "tidy")
+	sibling.End()
+	parent.End()
+
+	byName := map[string]PhaseSample{}
+	for _, s := range rec.Spans() {
+		byName[s.Name] = s
+	}
+	checks := []struct {
+		name, parent string
+		depth        int
+	}{
+		{"parse", "", 0},
+		{"tokenize", "parse", 1},
+		{"entities", "tokenize", 2},
+		{"tidy", "parse", 1},
+	}
+	for _, c := range checks {
+		got, ok := byName[c.name]
+		if !ok {
+			t.Errorf("span %q not recorded", c.name)
+			continue
+		}
+		if got.Parent != c.parent || got.Depth != c.depth {
+			t.Errorf("span %q: parent=%q depth=%d, want parent=%q depth=%d",
+				c.name, got.Parent, got.Depth, c.parent, c.depth)
+		}
+	}
+	// Completion order: children end before parents.
+	spans := rec.Spans()
+	if spans[len(spans)-1].Name != "parse" {
+		t.Errorf("last completed span = %q, want parse", spans[len(spans)-1].Name)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	ctx := WithRegistry(context.Background(), NewRegistry())
+	ctx, rec := WithTraceRecorder(ctx, false)
+	_, sp := StartSpan(ctx, "x")
+	sp.End()
+	sp.End()
+	if n := len(rec.Spans()); n != 1 {
+		t.Errorf("double End recorded %d spans, want 1", n)
+	}
+	var nilSpan *Span
+	nilSpan.End() // must not panic
+}
+
+// allocSink keeps test allocations observable to the span's memstats delta.
+var allocSink []byte
+
+func TestSpanAllocSampling(t *testing.T) {
+	ctx, rec := WithTraceRecorder(context.Background(), true)
+	_, sp := StartSpan(ctx, "alloc")
+	allocSink = make([]byte, 1<<20)
+	sp.End()
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	if spans[0].AllocBytes < 1<<20 {
+		t.Errorf("AllocBytes = %d, want >= 1MiB", spans[0].AllocBytes)
+	}
+	if spans[0].Allocs < 1 {
+		t.Errorf("Allocs = %d, want >= 1", spans[0].Allocs)
+	}
+}
+
+func TestSpanWithoutRecorderStillObserves(t *testing.T) {
+	r := NewRegistry()
+	ctx := WithRegistry(context.Background(), r)
+	_, sp := StartSpan(ctx, "solo")
+	sp.End()
+	if r.Histogram(PhaseSeries("solo")).Count() != 1 {
+		t.Error("span without recorder did not feed the registry histogram")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `omini_phase_seconds_count{phase="solo"} 1`) {
+		t.Errorf("exposition missing solo phase:\n%s", b.String())
+	}
+}

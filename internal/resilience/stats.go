@@ -1,81 +1,24 @@
 package resilience
 
-import (
-	"sort"
-	"sync"
-	"sync/atomic"
-)
+import "omini/internal/obs"
 
-// Stats is an expvar-style registry of named monotonic counters. Components
-// publish into it (retries, breaker trips, shed requests, recovered panics)
-// and the /statsz endpoint snapshots it, so the failure handling added by
-// this package is observable rather than silent.
-type Stats struct {
-	mu       sync.RWMutex
-	counters map[string]*atomic.Int64
-}
+// The counter registry this package originally carried is now
+// internal/obs.Registry — one metrics subsystem feeds /statsz, /metricsz,
+// and the per-phase histograms, instead of a resilience-private counter
+// map. The aliases below keep the package's API (retry and breaker configs
+// take a *Stats; tests build their own) while making every counter land in
+// the shared registry.
+
+// Stats is the metrics registry components publish into (retries, breaker
+// trips, shed requests, recovered panics). It is the obs.Registry itself,
+// so counters published here appear in Prometheus exposition too.
+type Stats = obs.Registry
 
 // Default is the process-wide registry; components fall back to it when no
-// Stats is configured, so one /statsz dump sees everything.
-var Default = NewStats()
+// Stats is configured, so one /statsz or /metricsz dump sees everything.
+var Default = obs.Default
 
 // NewStats returns an empty registry.
 func NewStats() *Stats {
-	return &Stats{counters: make(map[string]*atomic.Int64)}
-}
-
-// Counter returns the named counter, creating it at zero on first use.
-func (s *Stats) Counter(name string) *atomic.Int64 {
-	s.mu.RLock()
-	c := s.counters[name]
-	s.mu.RUnlock()
-	if c != nil {
-		return c
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c = s.counters[name]; c == nil {
-		c = new(atomic.Int64)
-		s.counters[name] = c
-	}
-	return c
-}
-
-// Add increments the named counter by n.
-func (s *Stats) Add(name string, n int64) {
-	s.Counter(name).Add(n)
-}
-
-// Get returns the named counter's value (0 if never touched).
-func (s *Stats) Get(name string) int64 {
-	s.mu.RLock()
-	c := s.counters[name]
-	s.mu.RUnlock()
-	if c == nil {
-		return 0
-	}
-	return c.Load()
-}
-
-// Snapshot returns a point-in-time copy of every counter.
-func (s *Stats) Snapshot() map[string]int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]int64, len(s.counters))
-	for name, c := range s.counters {
-		out[name] = c.Load()
-	}
-	return out
-}
-
-// Names returns the registered counter names in sorted order.
-func (s *Stats) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.counters))
-	for name := range s.counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	return obs.NewRegistry()
 }

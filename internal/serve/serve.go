@@ -9,23 +9,34 @@
 // The handler chain is hardened for production traffic: a panic anywhere
 // in extraction returns a JSON 500 instead of killing the process, an
 // in-flight cap sheds excess load with 429 + Retry-After, every request
-// runs under a deadline, and all errors are structured JSON. The /statsz
-// endpoint exposes the resilience counters so none of this is silent.
+// runs under a deadline, and all errors are structured JSON.
+//
+// Nothing the service does is silent: every extraction runs under the
+// obs registry, so /metricsz exposes Prometheus-style counters, gauges
+// and per-phase latency histograms, /statsz keeps the legacy JSON counter
+// view of the same registry, /debug/pprof/* serves the runtime profiles,
+// each request emits one structured access-log line with its decision
+// summary, and ?trace=1 on /extract returns the full decision trace
+// inline.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"omini/internal/core"
 	"omini/internal/nav"
+	"omini/internal/obs"
 	"omini/internal/resilience"
 	"omini/internal/rules"
 	"omini/internal/wrapgen"
@@ -44,8 +55,12 @@ type Config struct {
 	RequestTimeout time.Duration
 	// RetryAfter is the Retry-After hint on shed requests (default 1s).
 	RetryAfter time.Duration
-	// Stats receives the service's counters; nil uses resilience.Default.
+	// Stats receives the service's metrics (counters, gauges, phase
+	// histograms); nil uses resilience.Default (the process registry).
 	Stats *resilience.Stats
+	// Logger receives the structured access and error log; nil uses
+	// obs.DefaultLogger().
+	Logger *obs.Logger
 }
 
 const (
@@ -54,6 +69,11 @@ const (
 	defaultRetryAfter     = time.Second
 )
 
+// pipelinePhases are the spans the extraction pipeline records; they are
+// pre-registered so /metricsz exposes every phase histogram from boot,
+// before the first request arrives.
+var pipelinePhases = []string{"tokenize", "tidy", "build", "subtree", "separator", "extract"}
+
 // Server is the HTTP handler. Create with New.
 type Server struct {
 	cfg       Config
@@ -61,6 +81,7 @@ type Server struct {
 	extractor *core.Extractor
 	limiter   *resilience.Limiter
 	stats     *resilience.Stats
+	log       *obs.Logger
 
 	mu       sync.RWMutex
 	rules    *rules.Store
@@ -84,18 +105,23 @@ func New(cfg Config) *Server {
 	if cfg.Stats == nil {
 		cfg.Stats = resilience.Default
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.DefaultLogger()
+	}
 	s := &Server{
 		cfg:       cfg,
 		extractor: core.New(core.Options{}),
 		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
 		stats:     cfg.Stats,
+		log:       cfg.Logger,
 		rules:     rules.NewStore(),
 		wrappers:  make(map[string]*wrapgen.Wrapper),
 	}
+	s.registerMetrics()
 
 	// Extraction endpoints run behind the load shed and request deadline;
-	// health and stats probes stay outside so an overloaded server still
-	// answers its operators.
+	// health, stats and profiling probes stay outside so an overloaded
+	// server still answers its operators.
 	api := http.NewServeMux()
 	api.HandleFunc("POST /extract", s.handleExtract)
 	api.HandleFunc("POST /records", s.handleRecords)
@@ -107,10 +133,41 @@ func New(cfg Config) *Server {
 		_, _ = io.WriteString(w, "ok\n")
 	})
 	root.HandleFunc("GET /statsz", s.handleStatsz)
+	root.HandleFunc("GET /metricsz", s.handleMetricsz)
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	root.Handle("/", s.withLimit(s.withTimeout(api)))
 
-	s.handler = s.withRecovery(root)
+	s.handler = s.withRecovery(s.withObs(root))
 	return s
+}
+
+// registerMetrics pre-touches the counters, phase histograms and computed
+// gauges the service exposes, so a scrape of a fresh process already shows
+// the full metric surface at zero.
+func (s *Server) registerMetrics() {
+	for _, name := range []string{"serve.requests", "serve.errors", "serve.panics", "serve.shed"} {
+		s.stats.Counter(name)
+	}
+	for _, phase := range pipelinePhases {
+		s.stats.Histogram(obs.PhaseSeries(phase))
+	}
+	s.stats.RegisterGaugeFunc("serve.inflight", func() float64 {
+		return float64(s.limiter.InFlight())
+	})
+	s.stats.RegisterGaugeFunc("serve.cached_rules", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(s.rules.Len())
+	})
+	s.stats.RegisterGaugeFunc("serve.cached_wrappers", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.wrappers))
+	})
 }
 
 // ServeHTTP dispatches through the hardened middleware chain.
@@ -118,8 +175,138 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
+// reqInfo is the per-request decision summary handlers fill in for the
+// access log: what was extracted and why, in one line.
+type reqInfo struct {
+	mu         sync.Mutex
+	site       string
+	separator  string
+	subtree    string
+	objects    int
+	fromRule   bool
+	confidence float64
+	filled     bool
+}
+
+type reqInfoKey struct{}
+
+// infoFrom returns the request's summary slot (nil outside withObs).
+func infoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// fill records the extraction summary for the access log.
+func (ri *reqInfo) fill(site string, res *core.Result, fromRule bool) {
+	if ri == nil || res == nil {
+		return
+	}
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	ri.filled = true
+	ri.site = site
+	ri.separator = res.Separator
+	ri.subtree = res.SubtreePath
+	ri.objects = len(res.Objects)
+	ri.fromRule = fromRule
+	ri.confidence = res.Confidence()
+}
+
+// statusWriter captures the response status for metrics and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// requestSeries buckets request-latency series by endpoint, keeping label
+// cardinality bounded regardless of what paths clients probe.
+func requestSeries(path string) string {
+	switch {
+	case path == "/extract", path == "/records", path == "/rules",
+		path == "/healthz", path == "/statsz", path == "/metricsz":
+		return fmt.Sprintf("omini_request_seconds{path=%q}", path)
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return `omini_request_seconds{path="/debug/pprof"}`
+	default:
+		return `omini_request_seconds{path="other"}`
+	}
+}
+
+// operational marks endpoints whose access-log lines go to Debug rather
+// than Info, so scrapers and probes don't flood the log.
+func operational(path string) bool {
+	return path == "/healthz" || path == "/statsz" || path == "/metricsz" ||
+		strings.HasPrefix(path, "/debug/pprof")
+}
+
+// withObs threads the metrics registry into the request context (so the
+// pipeline's phase spans land in this server's registry), times the
+// request, counts it, and emits one structured access-log line carrying
+// the handler's decision summary.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := &reqInfo{}
+		ctx := obs.WithRegistry(r.Context(), s.stats)
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.stats.Add("serve.requests", 1)
+		if status >= 500 {
+			s.stats.Add("serve.errors", 1)
+		}
+		s.stats.Observe(requestSeries(r.URL.Path), elapsed.Seconds())
+
+		kv := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"durMs", float64(elapsed.Microseconds()) / 1000,
+		}
+		ri.mu.Lock()
+		if ri.filled {
+			kv = append(kv,
+				"site", ri.site,
+				"subtree", ri.subtree,
+				"separator", ri.separator,
+				"objects", ri.objects,
+				"fromRule", ri.fromRule,
+				"confidence", ri.confidence,
+			)
+		}
+		ri.mu.Unlock()
+		if operational(r.URL.Path) {
+			s.log.Debug("request", kv...)
+		} else {
+			s.log.Info("request", kv...)
+		}
+	})
+}
+
 // withRecovery converts handler panics into JSON 500s: one pathological
-// page must cost one request, never the process.
+// page must cost one request, never the process. The panic is counted and
+// logged with its stack through the structured logger, so it is visible on
+// /metricsz and in the log stream, not only in the failed response.
 func (s *Server) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
@@ -131,7 +318,12 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 				panic(rec)
 			}
 			s.stats.Add("serve.panics", 1)
-			log.Printf("serve: recovered panic on %s %s: %v", r.Method, r.URL.Path, rec)
+			s.log.Error("recovered panic",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"panic", fmt.Sprint(rec),
+				"stack", string(debug.Stack()),
+			)
 			writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 		}()
 		next.ServeHTTP(w, r)
@@ -167,8 +359,8 @@ func (s *Server) withTimeout(next http.Handler) http.Handler {
 
 // statszResponse is the /statsz payload.
 type statszResponse struct {
-	// Counters are the cumulative resilience counters (retries, breaker
-	// trips, shed requests, recovered panics, ...).
+	// Counters are the cumulative counters of the shared obs registry —
+	// the same registry /metricsz exposes in Prometheus form.
 	Counters map[string]int64 `json:"counters"`
 	// InFlight is the number of extraction requests currently running.
 	InFlight int `json:"inFlight"`
@@ -179,6 +371,9 @@ type statszResponse struct {
 	CachedWrappers int `json:"cachedWrappers"`
 }
 
+// handleStatsz serves the legacy JSON counter view. It is a thin alias of
+// the /metricsz registry: both read the identical obs.Registry, so the two
+// endpoints can never disagree.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	nrules, nwrap := s.rules.Len(), len(s.wrappers)
@@ -192,6 +387,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleMetricsz serves the registry as Prometheus-style text: counters,
+// gauges, and the per-phase latency histograms with p50/p95/p99.
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.stats.WritePrometheus(w); err != nil {
+		s.log.Error("metricsz write failed", "err", err)
+	}
+}
+
 // objectResponse is the /extract payload.
 type objectResponse struct {
 	Site        string  `json:"site,omitempty"`
@@ -203,6 +407,9 @@ type objectResponse struct {
 	// one — the crawl pointer an aggregator follows.
 	NextPage string      `json:"nextPage,omitempty"`
 	Objects  []objectDTO `json:"objects"`
+	// Trace is the decision trace, present when the request asked for it
+	// with ?trace=1.
+	Trace *obs.DecisionTrace `json:"trace,omitempty"`
 }
 
 type objectDTO struct {
@@ -211,22 +418,40 @@ type objectDTO struct {
 	Size  int    `json:"sizeBytes"`
 }
 
+// wantTrace reports whether the request opted into an inline decision
+// trace.
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	html, site, ok := s.readPage(w, r)
 	if !ok {
 		return
 	}
-	res, fromRule, err := s.extract(site, html)
+	ctx := r.Context()
+	if wantTrace(r) {
+		// Allocation sampling stays off on the serving path; wall times
+		// and rankings are the useful parts under traffic.
+		ctx, _ = obs.WithTraceRecorder(ctx, false)
+	}
+	res, fromRule, err := s.extract(ctx, site, html)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	infoFrom(ctx).fill(site, res, fromRule)
 	resp := objectResponse{
 		Site:        site,
 		SubtreePath: res.SubtreePath,
 		Separator:   res.Separator,
 		Confidence:  res.Confidence(),
 		FromRule:    fromRule,
+		Trace:       res.Trace,
 	}
 	if res.Tree != nil {
 		if next, ok := nav.FindNext(res.Tree); ok {
@@ -293,24 +518,27 @@ func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
 }
 
 // extract runs the cached-rule fast path when possible, falling back to
-// (and caching) full discovery.
-func (s *Server) extract(site, html string) (*core.Result, bool, error) {
+// (and caching) full discovery. The context carries the server's registry
+// (phase spans) and, on traced requests, the trace recorder.
+func (s *Server) extract(ctx context.Context, site, html string) (*core.Result, bool, error) {
 	if site != "" {
 		s.mu.RLock()
 		rule, err := s.rules.Get(site)
 		s.mu.RUnlock()
 		if err == nil {
-			if res, err := s.extractor.ExtractWithRule(html, rule); err == nil {
+			if res, err := s.extractor.ExtractWithRuleContext(ctx, html, rule); err == nil {
+				s.stats.Add("serve.rule_hits", 1)
 				return res, true, nil
 			}
 			// Stale rule: drop it and rediscover.
+			s.stats.Add("serve.rule_stale", 1)
 			s.mu.Lock()
 			s.rules.Delete(site)
 			delete(s.wrappers, site)
 			s.mu.Unlock()
 		}
 	}
-	res, err := s.extractor.Extract(html)
+	res, err := s.extractor.ExtractContext(ctx, html)
 	if err != nil {
 		return nil, false, err
 	}

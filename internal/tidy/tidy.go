@@ -46,24 +46,44 @@ func NormalizeTokens(src string) []htmlparse.Token {
 		if !ok {
 			break
 		}
-		switch tok.Type {
-		case htmlparse.TextToken:
-			n.text(&tok)
-		case htmlparse.StartTagToken:
-			n.start(tok.Data, tok.Attrs)
-		case htmlparse.SelfClosingTagToken:
-			n.start(tok.Data, tok.Attrs)
-			if !IsVoid(tok.Data) {
-				n.end(tok.Data)
-			}
-		case htmlparse.EndTagToken:
-			n.end(tok.Data)
-		case htmlparse.CommentToken, htmlparse.DoctypeToken, htmlparse.ProcInstToken:
-			// Dropped: not part of the tag tree model.
-		}
+		n.feed(&tok)
 	}
 	n.closeAll()
 	return n.out
+}
+
+// NormalizeTokensFrom balances an already-lexed token stream, exactly as
+// NormalizeTokens does for raw source. Callers that need the tokenize and
+// tidy phases separately observable (the instrumented pipeline of
+// internal/core) lex first with htmlparse.Tokenize and normalize here;
+// callers that don't should prefer NormalizeTokens, which skips the
+// intermediate slice.
+func NormalizeTokensFrom(toks []htmlparse.Token) []htmlparse.Token {
+	n := &normalizer{out: make([]htmlparse.Token, 0, len(toks)+8)}
+	for i := range toks {
+		n.feed(&toks[i])
+	}
+	n.closeAll()
+	return n.out
+}
+
+// feed routes one raw token through the normalizer.
+func (n *normalizer) feed(tok *htmlparse.Token) {
+	switch tok.Type {
+	case htmlparse.TextToken:
+		n.text(tok)
+	case htmlparse.StartTagToken:
+		n.start(tok.Data, tok.Attrs)
+	case htmlparse.SelfClosingTagToken:
+		n.start(tok.Data, tok.Attrs)
+		if !IsVoid(tok.Data) {
+			n.end(tok.Data)
+		}
+	case htmlparse.EndTagToken:
+		n.end(tok.Data)
+	case htmlparse.CommentToken, htmlparse.DoctypeToken, htmlparse.ProcInstToken:
+		// Dropped: not part of the tag tree model.
+	}
 }
 
 // headOnly are elements that belong in <head>.

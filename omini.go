@@ -1,6 +1,8 @@
 package omini
 
 import (
+	"context"
+
 	"omini/internal/combine"
 	"omini/internal/core"
 	"omini/internal/extract"
@@ -125,6 +127,16 @@ func (e *Extractor) ExtractResult(html string) (*Result, error) {
 	return e.inner.Extract(html)
 }
 
+// ExtractResultContext is ExtractResult under a caller context. Pipeline
+// phase timings land in the context's metrics registry
+// (obs.WithRegistry), and when the context carries a trace recorder
+// (obs.WithTraceRecorder) the result's Trace records every decision the
+// pipeline made — subtree rankings, per-heuristic separator votes, the
+// combined probabilities, and per-phase costs.
+func (e *Extractor) ExtractResultContext(ctx context.Context, html string) (*Result, error) {
+	return e.inner.ExtractContext(ctx, html)
+}
+
 // Objects runs full discovery and returns just the refined objects.
 func (e *Extractor) Objects(html string) ([]Object, error) {
 	res, err := e.inner.Extract(html)
@@ -150,6 +162,12 @@ func (e *Extractor) Learn(site, html string) (*Result, Rule, error) {
 // rule (fall back to ExtractResult and re-learn).
 func (e *Extractor) ExtractWithRule(html string, rule Rule) (*Result, error) {
 	return e.inner.ExtractWithRule(html, rule)
+}
+
+// ExtractWithRuleContext is ExtractWithRule under a caller context, with
+// the same metrics and trace behavior as ExtractResultContext.
+func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rule Rule) (*Result, error) {
+	return e.inner.ExtractWithRuleContext(ctx, html, rule)
 }
 
 // SeparatorProbability exposes the paper's rank-probability table (Table

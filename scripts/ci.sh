@@ -39,4 +39,50 @@ fi
 echo "==> bench smoke (-benchtime=1x)"
 go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
 
+# Observability: the telemetry package must stay vet- and race-clean on its
+# own (it is imported by every layer), and a real ominiserve process must
+# expose non-empty metrics and profiles. OBS_SMOKE=0 skips the server smoke
+# (e.g. where binding a loopback port is not allowed).
+echo "==> go vet ./internal/obs/..."
+go vet ./internal/obs/...
+go test -race ./internal/obs/...
+
+OBS_SMOKE="${OBS_SMOKE:-1}"
+if [ "$OBS_SMOKE" != "0" ]; then
+    echo "==> ominiserve /metricsz + pprof smoke"
+    tmpdir=$(mktemp -d)
+    trap 'kill "$srv_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+    go build -o "$tmpdir/ominiserve" ./cmd/ominiserve
+    "$tmpdir/ominiserve" -addr 127.0.0.1:0 2> "$tmpdir/serve.log" &
+    srv_pid=$!
+    # The first log line is JSON with an "addr" field naming the bound port.
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$tmpdir/serve.log" | head -n 1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "ominiserve did not report a listen address" >&2
+        cat "$tmpdir/serve.log" >&2
+        exit 1
+    fi
+    metrics=$(curl -sf "http://$addr/metricsz")
+    echo "$metrics" | grep -q 'omini_phase_seconds_bucket{phase="tidy"' || {
+        echo "/metricsz missing phase histograms:" >&2
+        echo "$metrics" | head -n 20 >&2
+        exit 1
+    }
+    echo "$metrics" | grep -q '^serve_panics 0$' || {
+        echo "/metricsz missing serve counters" >&2
+        exit 1
+    }
+    heap=$(curl -sf "http://$addr/debug/pprof/heap?debug=1")
+    [ -n "$heap" ] || { echo "/debug/pprof/heap returned empty body" >&2; exit 1; }
+    kill "$srv_pid"
+    wait "$srv_pid" 2>/dev/null || true
+    trap - EXIT
+    rm -rf "$tmpdir"
+fi
+
 echo "==> ci.sh: all checks passed"
