@@ -65,6 +65,8 @@ func run(w io.Writer, args []string) error {
 		cacheDir  = fs.String("cache", "", "page cache directory for URL fetches")
 		trace     = fs.Bool("trace", false, "emit a JSON decision trace explaining the extraction")
 		metrics   = fs.Bool("metrics", false, "dump the metrics registry to stderr after extraction")
+		maxBytes  = fs.Int64("max-bytes", 0, "max page size in bytes for fetch and extraction (0 = default, -1 = unlimited)")
+		timeout   = fs.Duration("timeout", 0, "per-page extraction deadline (0 = default, -1s = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +75,7 @@ func run(w io.Writer, args []string) error {
 		return errors.New("usage: omini [flags] <url | file | ->")
 	}
 	src := fs.Arg(0)
-	html, derivedSite, err := readPage(src, *cacheDir)
+	html, derivedSite, err := readPage(src, *cacheDir, *maxBytes)
 	if err != nil {
 		return err
 	}
@@ -93,6 +95,10 @@ func run(w io.Writer, args []string) error {
 	var opts []omini.Option
 	if *noRefine {
 		opts = append(opts, omini.WithoutRefinement())
+	}
+	if *maxBytes != 0 || *timeout != 0 {
+		lim := omini.Limits{MaxInputBytes: int(*maxBytes), Deadline: *timeout}
+		opts = append(opts, omini.WithLimits(lim))
 	}
 	extractor := omini.NewExtractor(opts...)
 
@@ -162,7 +168,7 @@ func extractWithRules(ctx context.Context, e *omini.Extractor, html, rulesPath, 
 
 // readPage loads the page from a URL, a file, or stdin ("-"), returning the
 // HTML and a site name derived from the source.
-func readPage(src, cacheDir string) (html, site string, err error) {
+func readPage(src, cacheDir string, maxBytes int64) (html, site string, err error) {
 	switch {
 	case src == "-":
 		body, err := io.ReadAll(os.Stdin)
@@ -170,7 +176,7 @@ func readPage(src, cacheDir string) (html, site string, err error) {
 	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
 		// Live-web fetches ride the resilience layer: transient upstream
 		// failures are retried with backoff before the CLI gives up.
-		f := fetch.Fetcher{CacheDir: cacheDir, Retry: &resilience.RetryPolicy{}}
+		f := fetch.Fetcher{CacheDir: cacheDir, MaxBytes: maxBytes, Retry: &resilience.RetryPolicy{}}
 		ctx, cancel := fetch.WithTimeout(context.Background())
 		defer cancel()
 		body, err := f.Fetch(ctx, src)

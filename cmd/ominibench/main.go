@@ -34,13 +34,16 @@ import (
 
 func main() {
 	var (
-		tables  = flag.String("table", "all", "comma-separated experiments: fig1,fig5,1,2,3,5,6,8,10,11,13,14,15,16,17,19,20,subtree,objects,sites,confidence or 'all'")
-		pages   = flag.Int("pages", 0, "pages per site (0 = paper-sized corpus: 33 test / 60 experimental / 40 comparison)")
-		repeats = flag.Int("repeats", 10, "timing repetitions per page (Tables 16/17)")
-		metrics = flag.Bool("metrics", false, "dump the metrics registry (per-phase histograms, counters) to stderr after the run")
+		tables   = flag.String("table", "all", "comma-separated experiments: fig1,fig5,1,2,3,5,6,8,10,11,13,14,15,16,17,19,20,subtree,objects,sites,confidence or 'all'")
+		pages    = flag.Int("pages", 0, "pages per site (0 = paper-sized corpus: 33 test / 60 experimental / 40 comparison)")
+		repeats  = flag.Int("repeats", 10, "timing repetitions per page (Tables 16/17)")
+		metrics  = flag.Bool("metrics", false, "dump the metrics registry (per-phase histograms, counters) to stderr after the run")
+		maxBytes = flag.Int("max-bytes", 0, "resource governor input-size cap for the end-to-end experiments (0 = default, -1 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "resource governor per-page deadline for the end-to-end experiments (0 = default, negative = unlimited)")
 	)
 	flag.Parse()
-	err := run(os.Stdout, *tables, *pages, *repeats)
+	limits := core.Limits{MaxInputBytes: *maxBytes, Deadline: *timeout}
+	err := run(os.Stdout, *tables, *pages, *repeats, limits)
 	if *metrics {
 		// Every extraction the experiments ran recorded its phase spans in
 		// the default registry; the exposition shows the aggregate cost
@@ -58,6 +61,7 @@ type harness struct {
 	w       io.Writer
 	corpus  *corpus.Corpus
 	repeats int
+	limits  core.Limits
 
 	heuristics []separator.Heuristic
 	testPrep   []eval.PreparedSite
@@ -66,11 +70,12 @@ type harness struct {
 	probs      combine.ProbTable
 }
 
-func run(w io.Writer, tables string, pages, repeats int) error {
+func run(w io.Writer, tables string, pages, repeats int, limits core.Limits) error {
 	h := &harness{
 		w:          w,
 		corpus:     &corpus.Corpus{PagesPerSite: pages},
 		repeats:    repeats,
+		limits:     limits,
 		heuristics: append(separator.All(), separator.HC(), separator.IT()),
 	}
 	type experiment struct {
@@ -466,7 +471,7 @@ func (h *harness) tableObjects() error {
 		{"Experimental", h.corpus.ExperimentalSet()},
 		{"Comparison", h.corpus.ComparisonSet()},
 	} {
-		pr := eval.MeasureObjectPR(set.name, set.sites, core.Options{})
+		pr := eval.MeasureObjectPR(set.name, set.sites, core.Options{Limits: h.limits})
 		fmt.Fprintf(h.w, "%-14s %10.3f %8.3f %8d\n", pr.Label, pr.Precision, pr.Recall, pr.Pages)
 	}
 	fmt.Fprintln(h.w)

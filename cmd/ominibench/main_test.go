@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"omini/internal/core"
 )
 
 // The full suite at a tiny corpus size must produce every section without
@@ -12,7 +14,7 @@ func TestRunAllExperimentsSmoke(t *testing.T) {
 		t.Skip("corpus evaluation in -short mode")
 	}
 	var out strings.Builder
-	if err := run(&out, "all", 2, 1); err != nil {
+	if err := run(&out, "all", 2, 1, core.Limits{}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	got := out.String()
@@ -32,7 +34,7 @@ func TestRunAllExperimentsSmoke(t *testing.T) {
 
 func TestRunSelectedTables(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "2,3", 1, 1); err != nil {
+	if err := run(&out, "2,3", 1, 1, core.Limits{}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	got := out.String()
@@ -46,7 +48,7 @@ func TestRunSelectedTables(t *testing.T) {
 
 func TestRunUnknownTableIsNoop(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "nope", 1, 1); err != nil {
+	if err := run(&out, "nope", 1, 1, core.Limits{}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if strings.Contains(out.String(), "===") {

@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"omini/internal/core"
 	"omini/internal/obs"
 	"omini/internal/serve"
 )
@@ -55,6 +56,7 @@ func main() {
 		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative = none)")
 		grace    = flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGTERM")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		timeout  = flag.Duration("timeout", 0, "per-page extraction deadline enforced by the resource governor (0 = default 10s, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -64,10 +66,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The resource governor mirrors the HTTP body cap so a page admitted
+	// by the server is also admitted by the extractor, and adds the
+	// per-page deadline on top of the per-request one.
+	limits := core.Limits{MaxInputBytes: int(*maxBytes), Deadline: *timeout}
 	srv := serve.New(serve.Config{
 		MaxBodyBytes:   *maxBytes,
 		MaxInFlight:    *inflight,
 		RequestTimeout: *reqTO,
+		Limits:         limits,
 		Logger:         logger,
 	})
 	ln, err := net.Listen("tcp", *addr)

@@ -9,6 +9,7 @@
 package combine
 
 import (
+	"omini/internal/govern"
 	"omini/internal/separator"
 	"omini/internal/tagtree"
 )
@@ -99,9 +100,31 @@ func Combine(sub *tagtree.Node, heuristics []separator.Heuristic, table ProbTabl
 // decision trace: per-heuristic candidate rankings with scores, at no cost
 // beyond what Combine already does.
 func CombineDetailed(sub *tagtree.Node, heuristics []separator.Heuristic, table ProbTable) ([]Candidate, []RankedList) {
-	st := separator.NewStats(sub)
-	lists := rankAllWith(st, heuristics)
-	return CombineLists(lists, table, st.FirstIndex()), lists
+	cands, lists, _ := CombineDetailedGoverned(sub, heuristics, table, nil)
+	return cands, lists
+}
+
+// CombineDetailedGoverned is CombineDetailed under a resource guard:
+// the shared Stats index scan polls the page context and the guard is
+// re-checked between heuristics, so a cancelled or out-of-time page
+// stops after the current heuristic instead of ranking all of them.
+// A nil guard makes it identical to CombineDetailed.
+func CombineDetailedGoverned(sub *tagtree.Node, heuristics []separator.Heuristic, table ProbTable, g *govern.Guard) ([]Candidate, []RankedList, error) {
+	st, err := separator.NewStatsGoverned(sub, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	lists := make([]RankedList, len(heuristics))
+	for i, h := range heuristics {
+		if err := g.Check(); err != nil {
+			return nil, nil, err
+		}
+		lists[i] = RankedList{Name: h.Name(), Ranked: separator.RankWith(st, h)}
+	}
+	if err := g.Check(); err != nil {
+		return nil, nil, err
+	}
+	return CombineLists(lists, table, st.FirstIndex()), lists, nil
 }
 
 // CombineLists merges pre-computed heuristic rankings, as Combine does.

@@ -110,14 +110,19 @@ func TestExtractBatchCancellation(t *testing.T) {
 	cancel() // cancelled before dispatch
 	reqs := batchPages(t, 2)
 	results := e.ExtractBatch(ctx, reqs, BatchOptions{Workers: 1})
-	cancelled := 0
-	for _, r := range results {
-		if r.Err == context.Canceled {
-			cancelled++
+	undispatched := 0
+	for i, r := range results {
+		// Every page — dispatched and interrupted by the governor, or
+		// never dispatched at all — reports the cancellation.
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("request %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if errors.Is(r.Err, ErrUndispatched) {
+			undispatched++
 		}
 	}
-	if cancelled == 0 {
-		t.Error("no request observed cancellation")
+	if undispatched == 0 {
+		t.Error("no request was marked undispatched")
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"omini/internal/combine"
 	"omini/internal/extract"
+	"omini/internal/govern"
 	"omini/internal/htmlparse"
 	"omini/internal/obs"
 	"omini/internal/rules"
@@ -40,6 +41,15 @@ var (
 	// page (the site changed its structure).
 	ErrRuleMismatch = errors.New("core: cached rule does not match page")
 )
+
+// Limits bounds the resources one extraction may consume; see
+// govern.Limits for field semantics. Extractions also return
+// *govern.ErrLimitExceeded and govern.ErrDeadline (wrapped) when a
+// budget is blown.
+type Limits = govern.Limits
+
+// DefaultLimits returns the production resource budgets (govern.Default).
+func DefaultLimits() Limits { return govern.Default() }
 
 // Options configure an Extractor. The zero value selects the paper's
 // defaults: the compound subtree heuristic, the five-heuristic RSIPB
@@ -60,6 +70,10 @@ type Options struct {
 	SkipNormalize bool
 	// Refine tunes the refinement thresholds.
 	Refine extract.RefineOptions
+	// Limits is the resource governor for each extraction. Zero fields
+	// take the production defaults (DefaultLimits); use
+	// govern.Unlimited() to run ungoverned.
+	Limits Limits
 }
 
 // Extractor runs the Omini object extraction pipeline.
@@ -78,7 +92,37 @@ func New(opts Options) *Extractor {
 	if opts.Probs == nil {
 		opts.Probs = combine.PaperProbs()
 	}
+	opts.Limits = opts.Limits.WithDefaults()
 	return &Extractor{opts: opts}
+}
+
+// governed derives the per-page context and guard from the extractor's
+// limits. The returned cancel releases the deadline timer and must be
+// called when the extraction finishes.
+func (e *Extractor) governed(ctx context.Context) (context.Context, context.CancelFunc, *govern.Guard) {
+	lim := e.opts.Limits
+	cancel := func() {}
+	if lim.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, lim.Deadline)
+	}
+	return ctx, cancel, govern.NewGuard(ctx, lim)
+}
+
+// countFailure records a failed extraction: always core.errors, plus a
+// per-cause counter — one series per limit kind, one for deadline
+// expiry, one for caller cancellation — so /metricsz distinguishes
+// "pages are oversized" from "pages are slow".
+func countFailure(reg *obs.Registry, err error) {
+	reg.Add("core.errors", 1)
+	var lim *govern.ErrLimitExceeded
+	switch {
+	case errors.As(err, &lim):
+		reg.Add(`core.limit_exceeded{kind="`+lim.Kind+`"}`, 1)
+	case errors.Is(err, govern.ErrDeadline):
+		reg.Add("core.deadline_exceeded", 1)
+	case errors.Is(err, context.Canceled):
+		reg.Add("core.cancelled", 1)
+	}
 }
 
 // Timing records the wall-clock cost of each pipeline phase, the
@@ -142,27 +186,37 @@ func (e *Extractor) Extract(html string) (*Result, error) {
 func (e *Extractor) ExtractContext(ctx context.Context, html string) (*Result, error) {
 	reg := obs.RegistryFrom(ctx)
 	reg.Add("core.extractions", 1)
+	ctx, cancel, g := e.governed(ctx)
+	defer cancel()
 	res := &Result{}
-	root, err := e.parse(ctx, html, res)
+	root, err := e.parse(ctx, html, res, g)
 	if err != nil {
-		reg.Add("core.errors", 1)
+		countFailure(reg, err)
 		return nil, err
 	}
 
 	_, sp := obs.StartSpan(ctx, "subtree")
-	ranked := e.opts.Subtree.Rank(root)
+	ranked, err := subtree.RankGoverned(e.opts.Subtree, root, g)
+	sp.End()
+	res.Timing.Subtree = sp.Duration()
+	if err != nil {
+		countFailure(reg, err)
+		return nil, fmt.Errorf("core: subtree: %w", err)
+	}
 	sub := root
 	if len(ranked) > 0 {
 		sub = ranked[0].Node
 	}
-	sp.End()
-	res.Timing.Subtree = sp.Duration()
 	res.SubtreePath = tagtree.Path(sub)
 
 	_, sp = obs.StartSpan(ctx, "separator")
-	cands, lists := combine.CombineDetailed(sub, e.opts.Separators, e.opts.Probs)
+	cands, lists, err := combine.CombineDetailedGoverned(sub, e.opts.Separators, e.opts.Probs, g)
 	sp.End()
 	res.Timing.Separator = sp.Duration()
+	if err != nil {
+		countFailure(reg, err)
+		return nil, fmt.Errorf("core: separator: %w", err)
+	}
 	// The paper times "Object Separator" (running the heuristics) apart
 	// from "Combine Heuristics" (merging the rankings); here both happen
 	// inside combine.CombineDetailed, so the split is attributed to
@@ -176,7 +230,10 @@ func (e *Extractor) ExtractContext(ctx context.Context, html string) (*Result, e
 	res.Separator = cands[0].Tag
 	res.Timing.Combine = time.Since(start)
 
-	e.construct(ctx, sub, res)
+	if err := e.construct(ctx, sub, res, g); err != nil {
+		countFailure(reg, err)
+		return nil, err
+	}
 	if rec := obs.TraceRecorderFrom(ctx); rec != nil {
 		res.Trace = buildTrace(res, ranked, lists, rec)
 	}
@@ -198,10 +255,12 @@ func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rul
 		reg.Add("core.rule_mismatches", 1)
 		return nil, fmt.Errorf("%w: rule is incomplete", ErrRuleMismatch)
 	}
+	ctx, cancel, g := e.governed(ctx)
+	defer cancel()
 	res := &Result{}
-	root, err := e.parse(ctx, html, res)
+	root, err := e.parse(ctx, html, res, g)
 	if err != nil {
-		reg.Add("core.errors", 1)
+		countFailure(reg, err)
 		return nil, err
 	}
 
@@ -216,7 +275,10 @@ func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rul
 	res.SubtreePath = rule.SubtreePath
 	res.Separator = rule.Separator
 
-	e.construct(ctx, sub, res)
+	if err := e.construct(ctx, sub, res, g); err != nil {
+		countFailure(reg, err)
+		return nil, err
+	}
 	if len(res.Raw) == 0 {
 		reg.Add("core.rule_mismatches", 1)
 		return nil, fmt.Errorf("%w: separator %q absent", ErrRuleMismatch, rule.Separator)
@@ -232,21 +294,31 @@ func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rul
 // construction — as three observable spans, and records its combined
 // timing. Splitting tokenize from tidy costs one transient raw-token slice
 // relative to the fused streaming path; the per-phase visibility is the
-// point (DESIGN.md §9).
-func (e *Extractor) parse(ctx context.Context, html string, res *Result) (*tagtree.Node, error) {
+// point (DESIGN.md §9). Each phase runs under the page's guard, so an
+// input past MaxInputBytes, a token-budget blowout, or an
+// over-deep/over-large tree surfaces here as a typed govern error.
+func (e *Extractor) parse(ctx context.Context, html string, res *Result, g *govern.Guard) (*tagtree.Node, error) {
 	parseStart := time.Now()
 	_, sp := obs.StartSpan(ctx, "tokenize")
-	toks := htmlparse.Tokenize(html)
+	toks, err := htmlparse.TokenizeGoverned(html, g)
 	sp.End()
+	if err != nil {
+		res.Timing.Parse = time.Since(parseStart)
+		return nil, fmt.Errorf("core: tokenize: %w", err)
+	}
 	if !e.opts.SkipNormalize {
 		_, sp = obs.StartSpan(ctx, "tidy")
-		toks = tidy.NormalizeTokensFrom(toks)
+		toks, err = tidy.NormalizeTokensFromGoverned(toks, g)
 		sp.End()
+		if err != nil {
+			res.Timing.Parse = time.Since(parseStart)
+			return nil, fmt.Errorf("core: tidy: %w", err)
+		}
 	}
 	// With SkipNormalize the raw stream is unbalanced; Build recovers what
 	// it can.
 	_, sp = obs.StartSpan(ctx, "build")
-	root, err := tagtree.Build(toks)
+	root, err := tagtree.BuildGoverned(toks, g)
 	sp.End()
 	res.Timing.Parse = time.Since(parseStart)
 	if err != nil {
@@ -257,15 +329,21 @@ func (e *Extractor) parse(ctx context.Context, html string, res *Result) (*tagtr
 }
 
 // construct runs Phase 3 and records its timing.
-func (e *Extractor) construct(ctx context.Context, sub *tagtree.Node, res *Result) {
+func (e *Extractor) construct(ctx context.Context, sub *tagtree.Node, res *Result, g *govern.Guard) error {
 	_, sp := obs.StartSpan(ctx, "extract")
-	res.Raw = extract.Construct(sub, res.Separator)
+	defer func() { res.Timing.Construct = sp.Duration() }()
+	raw, err := extract.ConstructGoverned(sub, res.Separator, g)
+	if err != nil {
+		sp.End()
+		return fmt.Errorf("core: construct: %w", err)
+	}
+	res.Raw = raw
 	res.Objects = res.Raw
 	if !e.opts.SkipRefine {
 		res.Objects = extract.Refine(res.Raw, e.opts.Refine)
 	}
 	sp.End()
-	res.Timing.Construct = sp.Duration()
+	return nil
 }
 
 // traceTopN caps ranked lists in the decision trace; beyond the first few

@@ -8,6 +8,7 @@ package extract
 import (
 	"strings"
 
+	"omini/internal/govern"
 	"omini/internal/tagtree"
 )
 
@@ -80,33 +81,54 @@ const dividerContentFraction = 0.05
 // Content before the first separator is emitted as a candidate object too
 // (a list header, typically) — Refine is responsible for dropping it.
 func Construct(sub *tagtree.Node, sepTag string) []Object {
+	objects, _ := ConstructGoverned(sub, sepTag, nil)
+	return objects
+}
+
+// ConstructGoverned is Construct under a resource guard: the child
+// partition polls the page context, and each flushed object is charged
+// against the object budget, so a page that would partition into
+// millions of objects fails typed instead of materializing them. A nil
+// guard makes it identical to Construct.
+func ConstructGoverned(sub *tagtree.Node, sepTag string, g *govern.Guard) ([]Object, error) {
 	if sub == nil || sepTag == "" {
-		return nil
+		return nil, nil
 	}
 	sepContent := 0
 	sepCount := 0
 	for _, c := range sub.Children {
+		if err := g.Poll(); err != nil {
+			return nil, err
+		}
 		if !c.IsContent() && c.Tag == sepTag {
 			sepContent += c.NodeSize()
 			sepCount++
 		}
 	}
 	if sepCount == 0 {
-		return nil
+		return nil, nil
 	}
 	divider := float64(sepContent) < dividerContentFraction*float64(sub.NodeSize())
 
 	var (
 		objects []Object
 		current []*tagtree.Node
+		err     error
 	)
 	flush := func() {
-		if len(current) > 0 {
-			objects = append(objects, Object{Nodes: current})
-			current = nil
+		if err != nil || len(current) == 0 {
+			return
 		}
+		if err = g.Objects(1); err != nil {
+			return
+		}
+		objects = append(objects, Object{Nodes: current})
+		current = nil
 	}
 	for _, c := range sub.Children {
+		if err != nil {
+			return nil, err
+		}
 		isSep := !c.IsContent() && c.Tag == sepTag
 		if isSep {
 			flush()
@@ -118,5 +140,8 @@ func Construct(sub *tagtree.Node, sepTag string) []Object {
 		current = append(current, c)
 	}
 	flush()
-	return objects
+	if err != nil {
+		return nil, err
+	}
+	return objects, nil
 }

@@ -16,6 +16,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -53,6 +54,12 @@ type Fetcher struct {
 // defaultMaxBytes bounds page reads; result pages of the era are far
 // smaller.
 const defaultMaxBytes = 8 << 20
+
+// ErrBodyTooLarge marks a response body exceeding MaxBytes. The fetch
+// fails — handing a silently truncated page to the extractor would
+// make it "succeed" with objects cut mid-list — and the failure is
+// permanent: the page will be just as big on the next attempt.
+var ErrBodyTooLarge = errors.New("fetch: response body exceeds size limit")
 
 // Fetch returns the page body for the URL, reading through the cache when
 // one is configured and applying the Retry policy and host Breakers when
@@ -139,10 +146,16 @@ func (f *Fetcher) fetchOnce(ctx context.Context, url string) ([]byte, error) {
 	if limit <= 0 {
 		limit = defaultMaxBytes
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	// Read one byte past the limit so an oversized body is detected
+	// rather than silently truncated at exactly `limit` bytes.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		// Truncated transfer or mid-stream disconnect: transient.
 		return nil, fmt.Errorf("fetch: read %s: %w", url, err)
+	}
+	if int64(len(body)) > limit {
+		obs.RegistryFrom(ctx).Add("fetch.too_large", 1)
+		return nil, resilience.Permanent(fmt.Errorf("fetch: read %s: %w (limit %d bytes)", url, ErrBodyTooLarge, limit))
 	}
 	return body, nil
 }

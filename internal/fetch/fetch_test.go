@@ -85,9 +85,27 @@ func TestFetchErrors(t *testing.T) {
 	}
 }
 
-func TestFetchRespectsMaxBytes(t *testing.T) {
+func TestFetchRejectsOversizedBody(t *testing.T) {
+	var hits atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
 		_, _ = w.Write([]byte(strings.Repeat("x", 1000)))
+	}))
+	defer ts.Close()
+	f := Fetcher{MaxBytes: 100, Retry: fastRetry(3)}
+	_, err := f.Fetch(context.Background(), ts.URL)
+	if !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("err = %v, want ErrBodyTooLarge", err)
+	}
+	// Oversize is permanent: the page will be just as big next attempt.
+	if hits.Load() != 1 {
+		t.Errorf("server hit %d times, want 1 (no retries)", hits.Load())
+	}
+}
+
+func TestFetchAllowsBodyAtLimit(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(strings.Repeat("x", 100)))
 	}))
 	defer ts.Close()
 	f := Fetcher{MaxBytes: 100}

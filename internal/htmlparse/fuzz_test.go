@@ -9,6 +9,7 @@ import (
 
 	"omini/internal/corpus"
 	"omini/internal/htmlparse"
+	"omini/internal/pathology"
 	"omini/internal/tagtree"
 )
 
@@ -49,6 +50,13 @@ func addFuzzSeeds(f *testing.F) {
 	for _, s := range nastySnippets {
 		f.Add(s)
 	}
+	// Scaled-down instances of the pathological corpus (see
+	// testdata/pathological): same attack shapes, fuzz-friendly sizes.
+	f.Add(pathology.DeepNesting(500))
+	f.Add(pathology.MegaAttributes(4, 16, 8))
+	f.Add(pathology.EntityBomb(600))
+	f.Add(pathology.UnclosedAvalanche(500))
+	f.Add(pathology.HugeTextNode(4 << 10))
 }
 
 // FuzzTokenize checks the lexer's safety net on arbitrary bytes: it must

@@ -2,6 +2,8 @@ package htmlparse
 
 import (
 	"strings"
+
+	"omini/internal/govern"
 )
 
 // rawTextTags are elements whose content is raw character data: the lexer
@@ -42,13 +44,28 @@ func NewLexer(src string) *Lexer {
 
 // Tokenize lexes the whole of src in one call.
 func Tokenize(src string) []Token {
+	toks, _ := TokenizeGoverned(src, nil)
+	return toks
+}
+
+// TokenizeGoverned lexes src under a resource guard: the input size is
+// checked up front and every produced token is charged against the
+// guard's token budget (which also polls the page context). A nil
+// guard makes it identical to Tokenize.
+func TokenizeGoverned(src string, g *govern.Guard) ([]Token, error) {
+	if err := g.Input(len(src)); err != nil {
+		return nil, err
+	}
 	lx := NewLexer(src)
 	// A typical page has roughly one token per 20 bytes.
 	toks := make([]Token, 0, len(src)/20+8)
 	for {
 		tok, ok := lx.Next()
 		if !ok {
-			return toks
+			return toks, nil
+		}
+		if err := g.Tokens(1); err != nil {
+			return nil, err
 		}
 		toks = append(toks, tok)
 	}

@@ -1,0 +1,25 @@
+// Command gen refreshes the committed pathological corpus:
+//
+//	go run ./internal/pathology/gen testdata/pathological
+//
+// Regenerate after changing the generators in internal/pathology so the
+// on-disk corpus and the code that documents it stay in sync.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"omini/internal/pathology"
+)
+
+func main() {
+	dir := "testdata/pathological"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := pathology.WriteCorpus(dir); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package separator
 
 import (
+	"omini/internal/govern"
 	"omini/internal/tagtree"
 )
 
@@ -29,6 +30,15 @@ type Stats struct {
 
 // NewStats indexes the children of sub in a single pass.
 func NewStats(sub *tagtree.Node) *Stats {
+	st, _ := NewStatsGoverned(sub, nil)
+	return st
+}
+
+// NewStatsGoverned is NewStats under a resource guard: the child scan
+// polls the page context, so indexing a subtree with millions of
+// children stops when the page is cancelled or out of time. A nil
+// guard makes it identical to NewStats.
+func NewStatsGoverned(sub *tagtree.Node, g *govern.Guard) (*Stats, error) {
 	st := &Stats{
 		sub:    sub,
 		tags:   make(map[string]tagStat),
@@ -36,6 +46,9 @@ func NewStats(sub *tagtree.Node) *Stats {
 		occ:    make(map[string][]int),
 	}
 	for i, c := range sub.Children {
+		if err := g.Poll(); err != nil {
+			return nil, err
+		}
 		st.prefix[i+1] = st.prefix[i] + c.NodeSize()
 		if c.IsContent() {
 			continue
@@ -48,7 +61,7 @@ func NewStats(sub *tagtree.Node) *Stats {
 		st.tags[c.Tag] = s
 		st.occ[c.Tag] = append(st.occ[c.Tag], i)
 	}
-	return st
+	return st, nil
 }
 
 // Sub returns the subtree the index was built over.

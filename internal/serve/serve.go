@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"omini/internal/core"
+	"omini/internal/govern"
 	"omini/internal/nav"
 	"omini/internal/obs"
 	"omini/internal/resilience"
@@ -61,6 +62,10 @@ type Config struct {
 	// Logger receives the structured access and error log; nil uses
 	// obs.DefaultLogger().
 	Logger *obs.Logger
+	// Limits is the per-extraction resource governor. Zero fields take
+	// core.DefaultLimits(); violations surface as 413 (input too
+	// large), 422 (budget exceeded) or 504 (page deadline).
+	Limits core.Limits
 }
 
 const (
@@ -110,7 +115,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:       cfg,
-		extractor: core.New(core.Options{}),
+		extractor: core.New(core.Options{Limits: cfg.Limits}),
 		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
 		stats:     cfg.Stats,
 		log:       cfg.Logger,
@@ -152,6 +157,17 @@ func (s *Server) registerMetrics() {
 	for _, name := range []string{"serve.requests", "serve.errors", "serve.panics", "serve.shed"} {
 		s.stats.Counter(name)
 	}
+	// Governor outcomes: one series per limit kind, plus deadline and
+	// cancellation counts, so a scrape distinguishes oversized pages
+	// from slow ones before the first violation occurs.
+	for _, kind := range []string{
+		govern.KindInput, govern.KindTokens, govern.KindNodes,
+		govern.KindDepth, govern.KindObjects,
+	} {
+		s.stats.Counter(`core.limit_exceeded{kind="` + kind + `"}`)
+	}
+	s.stats.Counter("core.deadline_exceeded")
+	s.stats.Counter("core.cancelled")
 	for _, phase := range pipelinePhases {
 		s.stats.Histogram(obs.PhaseSeries(phase))
 	}
@@ -617,7 +633,18 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // httpError maps extraction failures to status codes.
 func httpError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var lim *govern.ErrLimitExceeded
 	switch {
+	case errors.As(err, &lim):
+		// An oversized input is the client's fault (413); any other
+		// blown budget means the page is structurally unprocessable
+		// under the configured limits (422).
+		status = http.StatusUnprocessableEntity
+		if lim.Kind == govern.KindInput {
+			status = http.StatusRequestEntityTooLarge
+		}
+	case errors.Is(err, govern.ErrDeadline):
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, core.ErrNoObjects),
 		errors.Is(err, wrapgen.ErrNoObjects),
 		errors.Is(err, wrapgen.ErrNoFields):

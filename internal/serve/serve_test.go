@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -9,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"omini/internal/core"
+	"omini/internal/govern"
 	"omini/internal/resilience"
 	"omini/internal/sitegen"
 )
@@ -429,5 +432,45 @@ func TestRecordsRelearnOnDrift(t *testing.T) {
 	}
 	if out.Records[0]["title"] == "" {
 		t.Error("relearned wrapper produced empty titles")
+	}
+}
+
+func TestHTTPErrorMapsGovernorFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"input", fmt.Errorf("core: tokenize: %w", &govern.ErrLimitExceeded{Kind: govern.KindInput, Limit: 10, Actual: 20}), http.StatusRequestEntityTooLarge},
+		{"depth", fmt.Errorf("core: tidy: %w", &govern.ErrLimitExceeded{Kind: govern.KindDepth, Limit: 10, Actual: 20}), http.StatusUnprocessableEntity},
+		{"tokens", &govern.ErrLimitExceeded{Kind: govern.KindTokens, Limit: 10, Actual: 20}, http.StatusUnprocessableEntity},
+		{"deadline", fmt.Errorf("core: subtree: %w", govern.ErrDeadline), http.StatusGatewayTimeout},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		httpError(rec, c.err)
+		if rec.Code != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, rec.Code, c.want)
+		}
+	}
+}
+
+func TestExtractGovernedLimits(t *testing.T) {
+	// A service configured with tight limits turns pathological pages
+	// into client errors instead of burning worker time.
+	srv := New(Config{Limits: core.Limits{MaxTreeDepth: 16, MaxInputBytes: 4096}})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	deep := strings.Repeat("<div>", 64) + "bottom"
+	resp, body := post(t, ts.URL+"/extract", deep)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("deep page: status = %d, want 422: %s", resp.StatusCode, body)
+	}
+
+	big := "<html><body>" + strings.Repeat("<p>hello world</p>", 400) + "</body></html>"
+	resp, body = post(t, ts.URL+"/extract", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("big page: status = %d, want 413: %s", resp.StatusCode, body)
 	}
 }

@@ -1,6 +1,7 @@
 package subtree
 
 import (
+	"omini/internal/govern"
 	"omini/internal/tagtree"
 )
 
@@ -31,8 +32,16 @@ const compoundMinimalityRatio = 0.8
 // a region of one child cannot be the list of objects itself.
 const compoundMinimalityFanout = 3
 
-func (compound) Rank(root *tagtree.Node) []Ranked {
-	entries := rankCandidates(root, volume)
+func (h compound) Rank(root *tagtree.Node) []Ranked {
+	out, _ := h.rankGoverned(root, nil)
+	return out
+}
+
+func (compound) rankGoverned(root *tagtree.Node, g *govern.Guard) ([]Ranked, error) {
+	entries, err := rankCandidates(root, volume, g)
+	if err != nil {
+		return nil, err
+	}
 
 	// Minimality pass: an ancestor always accumulates at least its
 	// descendant's size and tags, so a page whose chrome is light can rank
@@ -58,7 +67,7 @@ func (compound) Rank(root *tagtree.Node) []Ranked {
 			}
 		}
 	}
-	return entries
+	return entries, nil
 }
 
 // volume computes the multi-dimensional volume of one subtree. The size

@@ -1,6 +1,7 @@
 package subtree
 
 import (
+	"omini/internal/govern"
 	"omini/internal/tagtree"
 )
 
@@ -16,8 +17,13 @@ func GSI() Heuristic { return gsi{} }
 
 func (gsi) Name() string { return "GSI" }
 
-func (gsi) Rank(root *tagtree.Node) []Ranked {
-	return rankCandidates(root, sizeIncrease)
+func (h gsi) Rank(root *tagtree.Node) []Ranked {
+	out, _ := h.rankGoverned(root, nil)
+	return out
+}
+
+func (gsi) rankGoverned(root *tagtree.Node, g *govern.Guard) ([]Ranked, error) {
+	return rankCandidates(root, sizeIncrease, g)
 }
 
 // sizeIncrease computes the GSI score of one node: the node size minus the

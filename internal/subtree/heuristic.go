@@ -9,6 +9,7 @@ package subtree
 import (
 	"sort"
 
+	"omini/internal/govern"
 	"omini/internal/tagtree"
 )
 
@@ -43,7 +44,32 @@ func Extract(root *tagtree.Node) *tagtree.Node {
 // node with at least one child. Content nodes anchor no subtree, and a
 // childless tag cannot contain multiple objects.
 func candidates(root *tagtree.Node) []*tagtree.Node {
-	return collectCandidates(root).nodes
+	cl, _ := collectCandidates(root, nil)
+	return cl.nodes
+}
+
+// governedRanker is the internal fast path of RankGoverned: the built-in
+// heuristics rank under a guard natively, threading cancellation polls
+// through their candidate walks.
+type governedRanker interface {
+	rankGoverned(root *tagtree.Node, g *govern.Guard) ([]Ranked, error)
+}
+
+// RankGoverned ranks with h under a resource guard: the candidate walk
+// polls the page context, so a cancelled or out-of-time page stops
+// mid-walk instead of ranking to completion. The built-in heuristics
+// (HF, GSI, LTC, Compound) cooperate natively; a custom Heuristic runs
+// ungoverned and only the context is checked after the fact. A nil
+// guard makes it equivalent to h.Rank.
+func RankGoverned(h Heuristic, root *tagtree.Node, g *govern.Guard) ([]Ranked, error) {
+	if gr, ok := h.(governedRanker); ok {
+		return gr.rankGoverned(root, g)
+	}
+	out := h.Rank(root)
+	if err := g.Check(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // candList holds the candidate anchors of one ranking pass in document
@@ -56,16 +82,21 @@ type candList struct {
 
 // collectCandidates gathers the candidate anchors and their depths in one
 // walk. Depths are relative to root; tie-breaks only compare depths, so the
-// constant offset to absolute depth is irrelevant.
-func collectCandidates(root *tagtree.Node) candList {
+// constant offset to absolute depth is irrelevant. The guard is polled
+// once per visited node, so a cancelled page abandons the walk.
+func collectCandidates(root *tagtree.Node, g *govern.Guard) (candList, error) {
 	est := root.TagCount()/4 + 4
 	cl := candList{
 		nodes:  make([]*tagtree.Node, 0, est),
 		depths: make([]int, 0, est),
 	}
+	var err error
 	var walk func(n *tagtree.Node, depth int)
 	walk = func(n *tagtree.Node, depth int) {
-		if n.IsContent() {
+		if err != nil || n.IsContent() {
+			return
+		}
+		if err = g.Poll(); err != nil {
 			return
 		}
 		if n.Fanout() > 0 {
@@ -77,7 +108,10 @@ func collectCandidates(root *tagtree.Node) candList {
 		}
 	}
 	walk(root, 0)
-	return cl
+	if err != nil {
+		return candList{}, err
+	}
+	return cl, nil
 }
 
 // rankCandidates scores every candidate anchor under root and returns the
@@ -85,8 +119,11 @@ func collectCandidates(root *tagtree.Node) candList {
 // *minimal* subtree with the property, per Definition 4) and then document
 // order, so rankings are deterministic. The tree is walked once; sorting
 // works on a precomputed index with no maps and no Depth() traversals.
-func rankCandidates(root *tagtree.Node, score func(*tagtree.Node) float64) []Ranked {
-	cl := collectCandidates(root)
+func rankCandidates(root *tagtree.Node, score func(*tagtree.Node) float64, g *govern.Guard) ([]Ranked, error) {
+	cl, err := collectCandidates(root, g)
+	if err != nil {
+		return nil, err
+	}
 	entries := make([]Ranked, len(cl.nodes))
 	idx := make([]int, len(cl.nodes))
 	for i, n := range cl.nodes {
@@ -107,7 +144,7 @@ func rankCandidates(root *tagtree.Node, score func(*tagtree.Node) float64) []Ran
 	for k, i := range idx {
 		out[k] = entries[i]
 	}
-	return out
+	return out, nil
 }
 
 // Top returns the first n entries of a ranked list (or fewer).

@@ -1,6 +1,7 @@
 package subtree
 
 import (
+	"omini/internal/govern"
 	"omini/internal/tagtree"
 )
 
@@ -26,9 +27,17 @@ func LTC() Heuristic { return ltc{window: ltcReexamineWindow} }
 func (ltc) Name() string { return "LTC" }
 
 func (h ltc) Rank(root *tagtree.Node) []Ranked {
-	entries := rankCandidates(root, func(n *tagtree.Node) float64 {
+	out, _ := h.rankGoverned(root, nil)
+	return out
+}
+
+func (h ltc) rankGoverned(root *tagtree.Node, g *govern.Guard) ([]Ranked, error) {
+	entries, err := rankCandidates(root, func(n *tagtree.Node) float64 {
 		return float64(n.TagCount())
-	})
+	}, g)
+	if err != nil {
+		return nil, err
+	}
 
 	// Step 2: walk down the ranked list and re-examine ancestor pairs.
 	// When a higher-ranked subtree T_i is in an ancestor relationship with
@@ -80,5 +89,5 @@ func (h ltc) Rank(root *tagtree.Node) []Ranked {
 			}
 		}
 	}
-	return entries
+	return entries, nil
 }

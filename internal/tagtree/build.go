@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"omini/internal/govern"
 	"omini/internal/htmlparse"
 	"omini/internal/tidy"
 )
@@ -60,6 +61,16 @@ func (a *arena) newNode() *Node {
 // construction performs no per-node allocation and no second finalize walk.
 // tagtree.Validate checks the resulting invariants in tests.
 func Build(toks []htmlparse.Token) (*Node, error) {
+	return BuildGoverned(toks, nil)
+}
+
+// BuildGoverned is Build under a resource guard: every created node is
+// charged against the node budget and the element stack is checked
+// against the depth limit on each push. Later phases walk the tree
+// recursively, so the depth bound here is what keeps their goroutine
+// stacks finite on adversarially nested input. A nil guard makes it
+// identical to Build.
+func BuildGoverned(toks []htmlparse.Token, g *govern.Guard) (*Node, error) {
 	ar := arena{}
 	if est := len(toks); est > 0 {
 		size := est/2 + 8
@@ -98,6 +109,12 @@ func Build(toks []htmlparse.Token) (*Node, error) {
 		tok := &toks[i]
 		switch tok.Type {
 		case htmlparse.StartTagToken:
+			if err := g.Nodes(1); err != nil {
+				return nil, err
+			}
+			if err := g.Depth(len(stack) + 1); err != nil {
+				return nil, err
+			}
 			n := ar.newNode()
 			n.Tag = tok.Data
 			n.Attrs = tok.Attrs
@@ -116,6 +133,9 @@ func Build(toks []htmlparse.Token) (*Node, error) {
 			text := collapseSpace(tok.Data)
 			if text == "" {
 				continue
+			}
+			if err := g.Nodes(1); err != nil {
+				return nil, err
 			}
 			n := ar.newNode()
 			n.Text = text

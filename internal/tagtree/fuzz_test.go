@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"omini/internal/corpus"
+	"omini/internal/pathology"
 	"omini/internal/sitegen"
 	"omini/internal/tagtree"
 )
@@ -37,6 +38,14 @@ func FuzzParse(f *testing.F) {
 	} {
 		f.Add(s)
 	}
+	// Scaled-down pathological pages (see testdata/pathological): deep
+	// nesting, attribute floods, entity runs, unclosed avalanches, and a
+	// fat text node, at sizes a fuzz iteration can afford.
+	f.Add(pathology.DeepNesting(500))
+	f.Add(pathology.MegaAttributes(4, 16, 8))
+	f.Add(pathology.EntityBomb(600))
+	f.Add(pathology.UnclosedAvalanche(500))
+	f.Add(pathology.HugeTextNode(4 << 10))
 	f.Fuzz(func(t *testing.T, src string) {
 		root, err := tagtree.Parse(src)
 		if err != nil {

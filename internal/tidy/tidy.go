@@ -9,6 +9,7 @@ package tidy
 import (
 	"strings"
 
+	"omini/internal/govern"
 	"omini/internal/htmlparse"
 )
 
@@ -22,6 +23,14 @@ type openElem struct {
 type normalizer struct {
 	out   []htmlparse.Token
 	stack []openElem
+	// g budgets emitted tokens and nesting depth; err is the sticky
+	// governor violation that stops the rewrite. Repairs emit tokens
+	// the input never had (format-tag reopening, implied closures), so
+	// the output budget is charged here, where those tokens are born —
+	// a repair loop that blows up quadratically trips MaxTokens even
+	// when the raw input lexed comfortably under it.
+	g   *govern.Guard
+	err error
 }
 
 // Normalize converts src into a well-formed HTML document and returns its
@@ -59,12 +68,28 @@ func NormalizeTokens(src string) []htmlparse.Token {
 // callers that don't should prefer NormalizeTokens, which skips the
 // intermediate slice.
 func NormalizeTokensFrom(toks []htmlparse.Token) []htmlparse.Token {
-	n := &normalizer{out: make([]htmlparse.Token, 0, len(toks)+8)}
+	out, _ := NormalizeTokensFromGoverned(toks, nil)
+	return out
+}
+
+// NormalizeTokensFromGoverned balances an already-lexed token stream
+// under a resource guard: every emitted token is charged against the
+// token budget and the open-element stack is checked against the depth
+// limit on each push. A nil guard makes it identical to
+// NormalizeTokensFrom.
+func NormalizeTokensFromGoverned(toks []htmlparse.Token, g *govern.Guard) ([]htmlparse.Token, error) {
+	n := &normalizer{out: make([]htmlparse.Token, 0, len(toks)+8), g: g}
 	for i := range toks {
+		if n.err != nil {
+			return nil, n.err
+		}
 		n.feed(&toks[i])
 	}
 	n.closeAll()
-	return n.out
+	if n.err != nil {
+		return nil, n.err
+	}
+	return n.out, nil
 }
 
 // feed routes one raw token through the normalizer.
@@ -104,6 +129,13 @@ func (n *normalizer) text(tok *htmlparse.Token) {
 		// Text floating in the document skeleton needs a body; text inside
 		// any real element (including head elements like <title>) stays put.
 		n.ensureFlowContext("")
+	}
+	if n.err != nil {
+		return
+	}
+	if err := n.g.Tokens(1); err != nil {
+		n.err = err
+		return
 	}
 	n.out = append(n.out, htmlparse.Token{
 		Type:   htmlparse.TextToken,
@@ -293,6 +325,13 @@ func (n *normalizer) top() string {
 }
 
 func (n *normalizer) push(name string, attrs []htmlparse.Attr) {
+	if n.err != nil {
+		return
+	}
+	if err := n.g.Depth(len(n.stack) + 1); err != nil {
+		n.err = err
+		return
+	}
 	n.stack = append(n.stack, openElem{name: name, attrs: attrs})
 	n.emitStart(name, attrs)
 }
@@ -304,6 +343,13 @@ func (n *normalizer) pop() {
 }
 
 func (n *normalizer) emitStart(name string, attrs []htmlparse.Attr) {
+	if n.err != nil {
+		return
+	}
+	if err := n.g.Tokens(1); err != nil {
+		n.err = err
+		return
+	}
 	n.out = append(n.out, htmlparse.Token{
 		Type:  htmlparse.StartTagToken,
 		Data:  name,
@@ -312,6 +358,13 @@ func (n *normalizer) emitStart(name string, attrs []htmlparse.Attr) {
 }
 
 func (n *normalizer) emitEnd(name string) {
+	if n.err != nil {
+		return
+	}
+	if err := n.g.Tokens(1); err != nil {
+		n.err = err
+		return
+	}
 	n.out = append(n.out, htmlparse.Token{
 		Type: htmlparse.EndTagToken,
 		Data: name,

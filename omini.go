@@ -6,6 +6,7 @@ import (
 	"omini/internal/combine"
 	"omini/internal/core"
 	"omini/internal/extract"
+	"omini/internal/govern"
 	"omini/internal/nav"
 	"omini/internal/rules"
 	"omini/internal/separator"
@@ -43,7 +44,37 @@ type Timing = core.Timing
 var (
 	ErrNoObjects    = core.ErrNoObjects
 	ErrRuleMismatch = core.ErrRuleMismatch
+	// ErrDeadline marks a page that exceeded its wall-clock budget
+	// (Limits.Deadline). It wraps context.DeadlineExceeded.
+	ErrDeadline = govern.ErrDeadline
 )
+
+// ErrLimitExceeded reports a blown resource budget (input bytes,
+// tokens, tree nodes, tree depth, or objects). Match with errors.As:
+//
+//	var lim *omini.ErrLimitExceeded
+//	if errors.As(err, &lim) { ... lim.Kind ... }
+type ErrLimitExceeded = govern.ErrLimitExceeded
+
+// Limits bounds the resources one extraction may consume. Zero fields
+// take DefaultLimits(); negative fields disable that limit.
+type Limits = core.Limits
+
+// DefaultLimits returns the production resource budgets every
+// Extractor enforces unless overridden with WithLimits.
+func DefaultLimits() Limits { return core.DefaultLimits() }
+
+// UnlimitedLimits disables every resource budget — the pre-governor
+// behavior, for trusted input and benchmarking.
+func UnlimitedLimits() Limits { return govern.Unlimited() }
+
+// WithLimits sets the extraction resource governor: hard budgets on
+// input size, token count, tree size and depth, and object count, plus
+// a per-page deadline. Violations surface as *ErrLimitExceeded or
+// ErrDeadline.
+func WithLimits(l Limits) Option {
+	return optionFunc(func(o *core.Options) { o.Limits = l })
+}
 
 // Extract runs the full Omini pipeline with default options on an HTML page
 // and returns the refined objects.

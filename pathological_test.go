@@ -1,0 +1,124 @@
+package omini_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"omini"
+	"omini/internal/obs"
+)
+
+// loadPathologicalCorpus reads the committed adversarial pages from
+// testdata/pathological/.
+func loadPathologicalCorpus(t *testing.T) map[string]string {
+	t.Helper()
+	dir := filepath.Join("testdata", "pathological")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus missing (run go run ./internal/pathology/gen): %v", err)
+	}
+	pages := make(map[string]string)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".html") {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages[e.Name()] = string(body)
+	}
+	if len(pages) < 5 {
+		t.Fatalf("corpus holds %d pages, want at least 5", len(pages))
+	}
+	return pages
+}
+
+// typedOutcome classifies an extraction result against the governor
+// contract: success, a no-objects verdict, or a typed govern failure.
+func typedOutcome(err error) (string, bool) {
+	var lim *omini.ErrLimitExceeded
+	switch {
+	case err == nil:
+		return "ok", true
+	case errors.Is(err, omini.ErrNoObjects):
+		return "no-objects", true
+	case errors.As(err, &lim):
+		return "limit:" + lim.Kind, true
+	case errors.Is(err, omini.ErrDeadline):
+		return "deadline", true
+	}
+	return err.Error(), false
+}
+
+// TestPathologicalCorpusChaos hammers every adversarial page with
+// concurrent extractions (run under -race in CI) and checks the
+// governor's core promise: each attempt completes within its budget —
+// extracting, reporting no objects, or failing fast with a typed
+// limit/deadline error. No hangs, no panics, no stack overflows.
+func TestPathologicalCorpusChaos(t *testing.T) {
+	pages := loadPathologicalCorpus(t)
+	e := omini.NewExtractor()
+	const passes = 3
+	var wg sync.WaitGroup
+	for name, html := range pages {
+		for p := 0; p < passes; p++ {
+			wg.Add(1)
+			go func(name, html string, p int) {
+				defer wg.Done()
+				start := time.Now()
+				_, err := e.ExtractResult(html)
+				outcome, ok := typedOutcome(err)
+				if !ok {
+					t.Errorf("%s pass %d: untyped failure: %v", name, p, err)
+				}
+				// The default Deadline is 10s; even under -race an attempt
+				// past 30s means cooperative cancellation failed somewhere.
+				if d := time.Since(start); d > 30*time.Second {
+					t.Errorf("%s pass %d: took %v (outcome %s), budget not enforced", name, p, d, outcome)
+				}
+			}(name, html, p)
+		}
+	}
+	wg.Wait()
+}
+
+// TestPathologicalChaosRecord measures governed vs ungoverned behavior
+// over the corpus for EXPERIMENTS.md. Gated behind OMINI_CHAOS_RECORD=1
+// because the ungoverned arm deliberately runs without budgets and is
+// slow by design; the deep-nesting page is excluded from that arm (its
+// whole point is that only the depth budget makes it safe).
+func TestPathologicalChaosRecord(t *testing.T) {
+	if os.Getenv("OMINI_CHAOS_RECORD") != "1" {
+		t.Skip("set OMINI_CHAOS_RECORD=1 to record the governed-vs-ungoverned comparison")
+	}
+	pages := loadPathologicalCorpus(t)
+	governed := omini.NewExtractor()
+	ungoverned := omini.NewExtractor(omini.WithLimits(omini.UnlimitedLimits()))
+
+	fmt.Printf("%-24s %-12s %-14s %-12s %-14s\n", "page", "governed", "", "ungoverned", "")
+	for name, html := range pages {
+		gStart := time.Now()
+		_, gErr := governed.ExtractResult(html)
+		gDur := time.Since(gStart)
+		gOut, _ := typedOutcome(gErr)
+
+		uOut, uDur := "skipped", time.Duration(0)
+		if name != "deep_nesting.html" {
+			uStart := time.Now()
+			_, uErr := ungoverned.ExtractResult(html)
+			uDur = time.Since(uStart)
+			uOut, _ = typedOutcome(uErr)
+		}
+		fmt.Printf("%-24s %-12s %-14s %-12s %-14s\n", name, gOut, gDur.Round(time.Millisecond), uOut, uDur.Round(time.Millisecond))
+	}
+	// The per-phase histograms for both arms accumulated in the default
+	// registry; dump them so the record shows where the time went.
+	_ = obs.Default.WritePrometheus(os.Stdout)
+}

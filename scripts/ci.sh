@@ -24,6 +24,12 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Resource governor: every adversarial page in testdata/pathological must
+# extract or fail fast with a typed limit/deadline error under the race
+# detector — no hangs, panics, or stack overflows (DESIGN.md §10).
+echo "==> pathological corpus under -race"
+go test -race -run Pathological ./...
+
 # Fuzz smoke: each target runs briefly so a lexer or builder regression that
 # panics on malformed input fails the merge, without the cost of a long
 # campaign. FUZZTIME=0 skips (e.g. on machines without the fuzz cache).
