@@ -1,0 +1,74 @@
+// Command ominilint runs the project's static-analysis suite over the
+// module: governloop, obsnames, errwrap, ctxfirst, and puredet (see
+// internal/lint and DESIGN.md §11).
+//
+// Usage:
+//
+//	ominilint [-json] [packages]
+//
+// Packages default to ./... resolved against the working directory.
+// Findings print as "file:line: analyzer: message" (or a JSON array
+// with -json). Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"omini/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ominilint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ominilint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(dir, flag.Args(), lint.NewAnalyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ominilint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, finding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "ominilint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtureExitCodes builds the linter and checks the CLI contract
+// against each violating fixture tree: nonzero exit, and -json output
+// that parses into the documented shape.
+func TestFixtureExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the linter binary; skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "ominilint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	for _, fixture := range []string{"governloop", "obsnames", "errwrap", "ctxfirst", "puredet"} {
+		dir := filepath.Join("..", "..", "internal", "lint", "testdata", "src", fixture)
+		cmd := exec.Command(bin, "-json", "./...")
+		cmd.Dir = dir
+		out, err := cmd.Output()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+			t.Errorf("fixture %s: want exit 1, got %v", fixture, err)
+			continue
+		}
+		var findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal(out, &findings); err != nil {
+			t.Errorf("fixture %s: -json output does not parse: %v\n%s", fixture, err, out)
+			continue
+		}
+		if len(findings) == 0 {
+			t.Errorf("fixture %s: exit 1 but no findings in JSON output", fixture)
+		}
+	}
+}

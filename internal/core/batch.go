@@ -149,7 +149,7 @@ dispatch:
 // abandoned page can never double-count its result.
 func (e *Extractor) extractOne(ctx context.Context, req BatchRequest, store *rules.Store, timeout time.Duration) BatchResult {
 	reg := obs.RegistryFrom(ctx)
-	reg.Add("core.batch_pages", 1)
+	reg.Add(SeriesBatchPages, 1)
 	pctx, cancel := ctx, context.CancelFunc(func() {})
 	if timeout > 0 {
 		pctx, cancel = context.WithTimeout(ctx, timeout)
@@ -170,17 +170,17 @@ func (e *Extractor) extractOne(ctx context.Context, req BatchRequest, store *rul
 			err := pctx.Err()
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 				// The watchdog fired, not the batch: dead-letter the page.
-				reg.Add("core.batch_watchdog", 1)
+				reg.Add(SeriesBatchWatchdog, 1)
 				err = fmt.Errorf("%w: %w", govern.ErrDeadline, err)
 			}
 			out = BatchResult{Site: req.Site, Err: err}
 		}
 	}
 	if out.Err != nil {
-		reg.Add("core.batch_errors", 1)
+		reg.Add(SeriesBatchErrors, 1)
 	}
 	if out.FromRule {
-		reg.Add("core.batch_rule_hits", 1)
+		reg.Add(SeriesBatchRuleHits, 1)
 	}
 	return out
 }
@@ -191,8 +191,14 @@ func (e *Extractor) extractOne(ctx context.Context, req BatchRequest, store *rul
 func (e *Extractor) extractPage(ctx context.Context, reg *obs.Registry, req BatchRequest, store *rules.Store) (out BatchResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			reg.Add("core.batch_panics", 1)
-			out = BatchResult{Site: req.Site, Err: fmt.Errorf("%w: %v", ErrPanicked, r)}
+			reg.Add(SeriesBatchPanics, 1)
+			// Keep the panic value's own error chain intact when it has
+			// one, so errors.Is sees through ErrPanicked to the cause.
+			rerr, ok := r.(error)
+			if !ok {
+				rerr = fmt.Errorf("%v", r)
+			}
+			out = BatchResult{Site: req.Site, Err: fmt.Errorf("%w: %w", ErrPanicked, rerr)}
 		}
 	}()
 	out = BatchResult{Site: req.Site}

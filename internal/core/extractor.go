@@ -113,15 +113,15 @@ func (e *Extractor) governed(ctx context.Context) (context.Context, context.Canc
 // expiry, one for caller cancellation — so /metricsz distinguishes
 // "pages are oversized" from "pages are slow".
 func countFailure(reg *obs.Registry, err error) {
-	reg.Add("core.errors", 1)
+	reg.Add(SeriesErrors, 1)
 	var lim *govern.ErrLimitExceeded
 	switch {
 	case errors.As(err, &lim):
-		reg.Add(`core.limit_exceeded{kind="`+lim.Kind+`"}`, 1)
+		reg.Add(LimitSeries(lim.Kind), 1)
 	case errors.Is(err, govern.ErrDeadline):
-		reg.Add("core.deadline_exceeded", 1)
+		reg.Add(SeriesDeadlineExceeded, 1)
 	case errors.Is(err, context.Canceled):
-		reg.Add("core.cancelled", 1)
+		reg.Add(SeriesCancelled, 1)
 	}
 }
 
@@ -185,7 +185,7 @@ func (e *Extractor) Extract(html string) (*Result, error) {
 // decisions.
 func (e *Extractor) ExtractContext(ctx context.Context, html string) (*Result, error) {
 	reg := obs.RegistryFrom(ctx)
-	reg.Add("core.extractions", 1)
+	reg.Add(SeriesExtractions, 1)
 	ctx, cancel, g := e.governed(ctx)
 	defer cancel()
 	res := &Result{}
@@ -223,7 +223,7 @@ func (e *Extractor) ExtractContext(ctx context.Context, html string) (*Result, e
 	// Separator and Combine records only the final candidate selection.
 	start := time.Now()
 	if len(cands) == 0 {
-		reg.Add("core.errors", 1)
+		reg.Add(SeriesErrors, 1)
 		return nil, fmt.Errorf("%w (subtree %s)", ErrNoObjects, res.SubtreePath)
 	}
 	res.Candidates = cands
@@ -250,9 +250,9 @@ func (e *Extractor) ExtractWithRule(html string, rule rules.Rule) (*Result, erro
 // the same span and trace behavior as ExtractContext.
 func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rule rules.Rule) (*Result, error) {
 	reg := obs.RegistryFrom(ctx)
-	reg.Add("core.rule_extractions", 1)
+	reg.Add(SeriesRuleExtractions, 1)
 	if !rule.Valid() {
-		reg.Add("core.rule_mismatches", 1)
+		reg.Add(SeriesRuleMismatches, 1)
 		return nil, fmt.Errorf("%w: rule is incomplete", ErrRuleMismatch)
 	}
 	ctx, cancel, g := e.governed(ctx)
@@ -269,7 +269,7 @@ func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rul
 	sp.End()
 	res.Timing.Subtree = sp.Duration()
 	if sub == nil {
-		reg.Add("core.rule_mismatches", 1)
+		reg.Add(SeriesRuleMismatches, 1)
 		return nil, fmt.Errorf("%w: path %s", ErrRuleMismatch, rule.SubtreePath)
 	}
 	res.SubtreePath = rule.SubtreePath
@@ -280,7 +280,7 @@ func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rul
 		return nil, err
 	}
 	if len(res.Raw) == 0 {
-		reg.Add("core.rule_mismatches", 1)
+		reg.Add(SeriesRuleMismatches, 1)
 		return nil, fmt.Errorf("%w: separator %q absent", ErrRuleMismatch, rule.Separator)
 	}
 	if rec := obs.TraceRecorderFrom(ctx); rec != nil {

@@ -1,0 +1,56 @@
+package core
+
+import "omini/internal/govern"
+
+// Registry series emitted by this package. One constant per series —
+// the obsnames analyzer enforces that emission sites use these and
+// that serve's boot pre-registration covers every one of them, so
+// /metricsz exposes each series from process start.
+const (
+	// SeriesExtractions counts successful single-page extractions.
+	SeriesExtractions = "core.extractions"
+	// SeriesErrors counts failed extractions of any cause.
+	SeriesErrors = "core.errors"
+	// SeriesDeadlineExceeded counts pages that hit the page deadline.
+	SeriesDeadlineExceeded = "core.deadline_exceeded"
+	// SeriesCancelled counts pages cancelled by the caller.
+	SeriesCancelled = "core.cancelled"
+	// SeriesRuleExtractions / SeriesRuleMismatches count rule-cache fast
+	// paths and stale-rule fallbacks.
+	SeriesRuleExtractions = "core.rule_extractions"
+	SeriesRuleMismatches  = "core.rule_mismatches"
+
+	// Batch counters, reconciled against batch results by operators.
+	SeriesBatchPages    = "core.batch_pages"
+	SeriesBatchErrors   = "core.batch_errors"
+	SeriesBatchRuleHits = "core.batch_rule_hits"
+	SeriesBatchWatchdog = "core.batch_watchdog"
+	SeriesBatchPanics   = "core.batch_panics"
+
+	// Per-kind limit counters, one series per govern limit kind.
+	SeriesLimitInput   = `core.limit_exceeded{kind="input"}`
+	SeriesLimitTokens  = `core.limit_exceeded{kind="tokens"}`
+	SeriesLimitNodes   = `core.limit_exceeded{kind="nodes"}`
+	SeriesLimitDepth   = `core.limit_exceeded{kind="depth"}`
+	SeriesLimitObjects = `core.limit_exceeded{kind="objects"}`
+	SeriesLimitOther   = `core.limit_exceeded{kind="other"}`
+)
+
+// LimitSeries maps a govern limit kind to its counter series. Every
+// return is a compile-time constant, which is what lets call sites
+// stay within the constant-series contract while the kind is dynamic.
+func LimitSeries(kind string) string {
+	switch kind {
+	case govern.KindInput:
+		return SeriesLimitInput
+	case govern.KindTokens:
+		return SeriesLimitTokens
+	case govern.KindNodes:
+		return SeriesLimitNodes
+	case govern.KindDepth:
+		return SeriesLimitDepth
+	case govern.KindObjects:
+		return SeriesLimitObjects
+	}
+	return SeriesLimitOther
+}

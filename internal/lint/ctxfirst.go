@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// newCtxfirst builds the ctxfirst analyzer: context.Context flows as
+// the first parameter of a function, never later in the list and never
+// stored in a struct. The one sanctioned store is govern.Guard, whose
+// whole job is carrying the page deadline into guard-charged loops.
+func newCtxfirst() *Analyzer {
+	return &Analyzer{
+		Name: "ctxfirst",
+		Doc:  "context.Context is the first parameter and is not stored in structs (except govern.Guard)",
+		Run:  runCtxfirst,
+	}
+}
+
+func runCtxfirst(pass *Pass) {
+	pkg := lastSegment(pass.Path)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxParams(pass, n.Type)
+			case *ast.FuncLit:
+				checkCtxParams(pass, n.Type)
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				if pkg == "govern" && n.Name.Name == "Guard" {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if tv, ok := pass.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+						pass.Reportf(field.Pos(), "struct %s stores a context.Context; pass it as the first parameter instead (only govern.Guard may carry one)", n.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams reports a context.Context parameter anywhere but
+// position zero.
+func checkCtxParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		isCtx := ok && isContextType(tv.Type)
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		for i := 0; i < names; i++ {
+			if isCtx && pos > 0 {
+				pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+				return
+			}
+			pos++
+		}
+	}
+}

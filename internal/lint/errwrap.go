@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newErrwrap builds the errwrap analyzer: fmt.Errorf must wrap error
+// arguments with %w (not %v/%s, which flatten the chain and break
+// errors.Is through that layer), a recovered value folded into a
+// wrapping Errorf must be asserted to error first, and error values
+// must be compared with errors.Is/errors.As rather than ==.
+func newErrwrap() *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc:  "wrap errors with %w and match sentinels with errors.Is/errors.As",
+		Run:  runErrwrap,
+	}
+}
+
+func runErrwrap(pass *Pass) {
+	for _, file := range pass.Files {
+		recoverVars := collectRecoverVars(pass.Info, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, recoverVars, n)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// collectRecoverVars finds variables assigned directly from recover(),
+// whose static type is any even when the recovered value is an error.
+func collectRecoverVars(info *types.Info, file *ast.File) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || ident.Name != "recover" || info.Uses[ident] != types.Universe.Lookup("recover") {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if ident, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[ident]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// checkErrorf validates verb/argument pairing in a fmt.Errorf call.
+func checkErrorf(pass *Pass, recoverVars map[types.Object]bool, call *ast.CallExpr) {
+	if !isPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return
+	}
+	format, ok := constStringOf(pass.Info, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // indexed verbs; too dynamic to pair reliably
+	}
+	args := call.Args[1:]
+	wraps := false
+	for _, v := range verbs {
+		if v == 'w' {
+			wraps = true
+		}
+	}
+	for i, verb := range verbs {
+		if i >= len(args) || verb == 'w' {
+			continue
+		}
+		arg := args[i]
+		if tv, ok := pass.Info.Types[arg]; ok && implementsError(tv.Type) {
+			pass.Reportf(arg.Pos(), "error argument formatted with %%%c; use %%w so errors.Is sees the chain", verb)
+			continue
+		}
+		// fmt.Errorf("%v", r) converting a recovered value to an error is
+		// fine; folding r into a chain that already wraps (%w elsewhere)
+		// flattens any error r carries.
+		if wraps {
+			if ident, ok := ast.Unparen(arg).(*ast.Ident); ok && recoverVars[pass.Info.Uses[ident]] {
+				pass.Reportf(arg.Pos(), "recovered value %s folded into a wrapping fmt.Errorf with %%%c; assert it to error and wrap with %%w", ident.Name, verb)
+			}
+		}
+	}
+}
+
+// checkSentinelCompare flags == / != between two error-typed values.
+// Comparisons against nil or any-typed values (recover results) are
+// not error comparisons and stay exempt.
+func checkSentinelCompare(pass *Pass, expr *ast.BinaryExpr) {
+	if expr.Op != token.EQL && expr.Op != token.NEQ {
+		return
+	}
+	xt, xok := pass.Info.Types[expr.X]
+	yt, yok := pass.Info.Types[expr.Y]
+	if !xok || !yok {
+		return
+	}
+	if implementsError(xt.Type) && implementsError(yt.Type) {
+		pass.Reportf(expr.OpPos, "error compared with %s; use errors.Is (or errors.As) so wrapped chains match", expr.Op)
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive
+// argument of a fmt format string ('*' for width/precision args). It
+// reports !ok on explicit argument indexes, which break positional
+// pairing.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	scan:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '%':
+				break scan // literal %%
+			case c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9'):
+			case c == '*':
+				verbs = append(verbs, '*')
+			case c == '[':
+				return nil, false
+			default:
+				verbs = append(verbs, c)
+				break scan
+			}
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// lastSegment returns the final element of an import path, which is
+// how the analyzers scope themselves to project packages ("serve",
+// "core", the seven phase packages) while staying testable against
+// fixture trees with different module prefixes.
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// namedType reports whether t (after pointer dereference) is the named
+// type pkgName.typeName.
+func namedType(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// isGuardPtr reports whether t is *govern.Guard.
+func isGuardPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && namedType(ptr.Elem(), "govern", "Guard")
+}
+
+// carriesGuard reports whether t (after pointer dereference) is a
+// struct with a *govern.Guard field — the guard-carrying-state pattern
+// (tidy's normalizer) that forwards budget charges through methods.
+func carriesGuard(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isGuardPtr(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// signatureTakesGuard reports whether sig has a *govern.Guard
+// parameter.
+func signatureTakesGuard(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isGuardPtr(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return namedType(t, "context", "Context")
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t statically satisfies the error
+// interface. The untyped nil and empty interfaces do not.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if basic, ok := t.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok && iface.Empty() {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// constStringOf returns the compile-time constant string value of
+// expr, if it has one.
+func constStringOf(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// calleeObject resolves the object a call expression invokes (function
+// or method), or nil for calls through function values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call invokes the package-level
+// function pkgName.funcName.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgName, funcName string) bool {
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg().Name() == pkgName && fn.Name() == funcName &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// funcKey identifies a function for baselining: "Recv.Name" for
+// methods (pointer stripped), "Name" otherwise.
+func funcKey(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name + "." + decl.Name.Name
+	}
+	return decl.Name.Name
+}

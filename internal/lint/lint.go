@@ -1,0 +1,154 @@
+// Package lint implements ominilint, the project's static-analysis
+// pass: a stdlib-only driver (go/parser, go/ast, go/types, go/importer
+// — no x/tools) that loads every package in the module, type-checks
+// it, and runs a suite of project-specific analyzers enforcing the
+// contracts the pipeline's layers rely on but the compiler cannot see:
+//
+//   - governloop: governed phase loops must charge the govern.Guard,
+//     and no new exported entry point in a governed package may loop
+//     unboundedly without one.
+//   - obsnames: obs registry series names are compile-time constants
+//     following the registry grammar, declared once, and pre-registered
+//     at boot.
+//   - errwrap: errors are wrapped with %w and matched with errors.Is,
+//     so sentinel chains survive every layer.
+//   - ctxfirst: context.Context is the first parameter and never
+//     stored in a struct outside the sanctioned govern.Guard.
+//   - puredet: the pure phase packages stay deterministic — no clocks,
+//     no randomness, no I/O — which is what makes the golden and
+//     differential tests meaningful.
+//
+// The paper's system (Buttler, Liu, Pu, ICDCS 2001) is motivated by
+// fully automated extraction at production scale; production Go stacks
+// hold invariants like these with custom analyzers in CI (the
+// go/analysis pattern), which this package reproduces without
+// third-party dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	// Pos locates the finding (file, line, column).
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Message states the violated invariant.
+	Message string
+}
+
+// String renders the finding in the canonical "file:line: analyzer:
+// message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	// Fset maps positions for every file in the run.
+	Fset *token.FileSet
+	// Path is the package's import path.
+	Path string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's facts for the package's syntax.
+	Info *types.Info
+	// Files are the package's parsed files (tests excluded).
+	Files []*ast.File
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one checked invariant. Analyzers are stateful across a
+// run (obsnames correlates serve and core), so NewAnalyzers returns
+// fresh instances per run.
+type Analyzer struct {
+	// Name labels findings ("governloop", "obsnames", ...).
+	Name string
+	// Doc is the one-line invariant description.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+	// Finish, if set, reports findings that need the whole-run view
+	// (cross-package registration sets, duplicate detection). It runs
+	// once after every package's Run.
+	Finish func(report func(token.Position, string))
+}
+
+// NewAnalyzers returns a fresh instance of every ominilint analyzer.
+func NewAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		newGovernloop(),
+		newObsnames(),
+		newErrwrap(),
+		newCtxfirst(),
+		newPuredet(),
+	}
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Path:  pkg.Path,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+				Files: pkg.Files,
+			}
+			name := a.Name
+			pass.report = func(f Finding) {
+				f.Analyzer = name
+				findings = append(findings, f)
+			}
+			a.Run(pass)
+		}
+		if a.Finish != nil {
+			a.Finish(func(pos token.Position, msg string) {
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: msg})
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// Run loads the packages matched by patterns (resolved relative to
+// dir, "./..." walks recursively) and runs the analyzers over them.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(pkgs, analyzers), nil
+}

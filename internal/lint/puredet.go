@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// purePackages are the deterministic phase packages: same set as the
+// governed packages. Their golden and differential tests are only
+// meaningful if output depends on input alone.
+var purePackages = governedPackages
+
+// impureImports are packages a pure phase must not import at all:
+// randomness and I/O surfaces.
+var impureImports = map[string]string{
+	"math/rand":    "randomness",
+	"math/rand/v2": "randomness",
+	"os":           "file and process I/O",
+	"os/exec":      "process I/O",
+	"io/ioutil":    "file I/O",
+	"net":          "network I/O",
+	"net/http":     "network I/O",
+	"syscall":      "system calls",
+}
+
+// impureCalls are package-level functions a pure phase must not call:
+// clocks and stdout/stderr writes. Keyed pkg name -> func names.
+var impureCalls = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true, "Sleep": true, "After": true, "Tick": true},
+	"fmt":  {"Print": true, "Printf": true, "Println": true},
+}
+
+// newPuredet builds the puredet analyzer: the pure phase packages stay
+// deterministic — no clocks, no randomness, no I/O.
+func newPuredet() *Analyzer {
+	return &Analyzer{
+		Name: "puredet",
+		Doc:  "pure phase packages must not call time.Now, math/rand, or do I/O",
+		Run:  runPuredet,
+	}
+}
+
+func runPuredet(pass *Pass) {
+	if !purePackages[lastSegment(pass.Path)] {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := impureImports[path]; bad {
+				pass.Reportf(imp.Pos(), "pure phase package imports %s (%s); phases must be deterministic", path, why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for pkgName, funcs := range impureCalls {
+				for fn := range funcs {
+					if isPkgFunc(pass.Info, call, pkgName, fn) {
+						pass.Reportf(call.Pos(), "pure phase package calls %s.%s; phases must be deterministic and silent", pkgName, fn)
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}

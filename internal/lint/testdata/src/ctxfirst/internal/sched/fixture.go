@@ -1,0 +1,22 @@
+// Package sched exercises the ctxfirst analyzer: context.Context is
+// the first parameter and is never stored in a struct.
+package sched
+
+import "context"
+
+type job struct {
+	ctx  context.Context // want "stores a context.Context"
+	name string
+}
+
+func startBad(name string, ctx context.Context) error { // want "first parameter"
+	_ = name
+	_ = ctx
+	return nil
+}
+
+func startGood(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}

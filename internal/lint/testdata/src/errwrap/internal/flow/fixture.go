@@ -1,0 +1,48 @@
+// Package flow exercises the errwrap analyzer: %w wrapping, errors.Is
+// matching, and recovered-value handling.
+package flow
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrStale = errors.New("stale")
+
+func wrapBad(err error) error {
+	return fmt.Errorf("load: %v", err) // want "use %w"
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("load: %w", err)
+}
+
+func compareBad(err error) bool {
+	return err == ErrStale // want "use errors.Is"
+}
+
+func compareGood(err error) bool {
+	return errors.Is(err, ErrStale) || err == nil
+}
+
+func recoverBad() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrStale, r) // want "assert it to error"
+		}
+	}()
+	return nil
+}
+
+func recoverGood() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rerr, ok := r.(error)
+			if !ok {
+				rerr = fmt.Errorf("%v", r)
+			}
+			err = fmt.Errorf("%w: %w", ErrStale, rerr)
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package govern is a minimal stand-in for the real governor so the
+// fixture packages type-check inside their own module. The analyzers
+// match the package name and type name, not the import path.
+package govern
+
+import "context"
+
+// Guard mirrors the real guard's charging surface.
+type Guard struct {
+	ctx context.Context
+	ops int
+}
+
+func (g *Guard) Input(n int) error  { return nil }
+func (g *Guard) Tokens(n int) error { return nil }
+func (g *Guard) Nodes(n int) error  { return nil }
+func (g *Guard) Depth(d int) error  { return nil }
+func (g *Guard) Objects(n int) error {
+	return nil
+}
+func (g *Guard) Poll()        {}
+func (g *Guard) Check() error { return nil }

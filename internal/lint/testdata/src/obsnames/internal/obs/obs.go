@@ -1,0 +1,17 @@
+// Package obs is a minimal stand-in for the real registry so the
+// fixture packages type-check inside their own module. The analyzer
+// matches the package name, type name and method names.
+package obs
+
+// Registry mirrors the real registry's name-taking surface.
+type Registry struct{}
+
+func (r *Registry) Counter(name string)            {}
+func (r *Registry) Add(name string, n int64)       {}
+func (r *Registry) Histogram(name string)          {}
+func (r *Registry) Observe(name string, v float64) {}
+
+// PhaseSeries mirrors the sanctioned labeled-family helper.
+func PhaseSeries(phase string) string {
+	return `omini_phase_seconds{phase="` + phase + `"}`
+}

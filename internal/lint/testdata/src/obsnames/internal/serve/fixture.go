@@ -1,0 +1,44 @@
+// Package serve exercises the obsnames analyzer: constant grammatical
+// series names, one constant per series, and boot pre-registration of
+// everything this package emits.
+package serve
+
+import "fixture/internal/obs"
+
+const (
+	seriesGood    = "serve.good_total"
+	seriesAlt     = "serve.alt_total"
+	seriesMissing = "serve.missing_total"
+	seriesDup     = "serve.good_total" // want "duplicate constant for series"
+	seriesUgly    = "Serve.BAD-NAME"
+)
+
+var phases = []string{"walk"}
+
+func registerMetrics(r *obs.Registry) {
+	r.Counter(seriesGood)
+	r.Counter(seriesAlt)
+	for _, phase := range phases {
+		r.Histogram(obs.PhaseSeries(phase))
+	}
+}
+
+func emit(r *obs.Registry, dyn string, flag bool) {
+	r.Add(seriesGood, 1)
+	r.Add(seriesMissing, 1) // want "missing from the boot pre-registration set"
+	r.Add(seriesDup, 1)
+	r.Add(seriesUgly, 1)   // want "does not match the registry grammar"
+	r.Add("serve."+dyn, 1) // want "must be a compile-time constant"
+	r.Add(pick(flag), 1)
+	r.Observe(obs.PhaseSeries("walk"), 1)
+	r.Observe(obs.PhaseSeries(dyn), 1) // want "must be a compile-time constant phase name"
+}
+
+// pick yields only pre-registered constants, the sanctioned helper
+// shape for bounded dynamic selection: conforming.
+func pick(flag bool) string {
+	if flag {
+		return seriesGood
+	}
+	return seriesAlt
+}

@@ -1,0 +1,10 @@
+// Package fetch is outside the pure phase set; clocks are fine here
+// and must produce no findings.
+package fetch
+
+import "time"
+
+// Stamp may read the clock: fetch is an I/O package by design.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,26 @@
+// Package tidy exercises the puredet analyzer: a pure phase package
+// reaching for clocks, randomness and I/O.
+package tidy
+
+import (
+	"math/rand" // want "imports math/rand"
+	"os"        // want "imports os"
+	"time"
+)
+
+func jitter() int {
+	return rand.Int()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "calls time.Now"
+}
+
+func home() string {
+	return os.Getenv("HOME")
+}
+
+// clean is deterministic: conforming.
+func clean(s string) string {
+	return s + "!"
+}

@@ -79,6 +79,34 @@ const (
 // before the first request arrives.
 var pipelinePhases = []string{"tokenize", "tidy", "build", "subtree", "separator", "extract"}
 
+// Registry series emitted by this package. One constant per series;
+// registerMetrics pre-registers every one of them (plus core's) so a
+// scrape of a fresh process already shows the full metric surface.
+const (
+	seriesRequests  = "serve.requests"
+	seriesErrors    = "serve.errors"
+	seriesPanics    = "serve.panics"
+	seriesShed      = "serve.shed"
+	seriesRuleHits  = "serve.rule_hits"
+	seriesRuleStale = "serve.rule_stale"
+
+	gaugeInflight       = "serve.inflight"
+	gaugeCachedRules    = "serve.cached_rules"
+	gaugeCachedWrappers = "serve.cached_wrappers"
+
+	// Request-latency series, one per public endpoint plus the pprof and
+	// catch-all buckets, keeping label cardinality bounded regardless of
+	// what paths clients probe.
+	seriesReqExtract  = `omini_request_seconds{path="/extract"}`
+	seriesReqRecords  = `omini_request_seconds{path="/records"}`
+	seriesReqRules    = `omini_request_seconds{path="/rules"}`
+	seriesReqHealthz  = `omini_request_seconds{path="/healthz"}`
+	seriesReqStatsz   = `omini_request_seconds{path="/statsz"}`
+	seriesReqMetricsz = `omini_request_seconds{path="/metricsz"}`
+	seriesReqPprof    = `omini_request_seconds{path="/debug/pprof"}`
+	seriesReqOther    = `omini_request_seconds{path="other"}`
+)
+
 // Server is the HTTP handler. Create with New.
 type Server struct {
 	cfg       Config
@@ -154,32 +182,43 @@ func New(cfg Config) *Server {
 // gauges the service exposes, so a scrape of a fresh process already shows
 // the full metric surface at zero.
 func (s *Server) registerMetrics() {
-	for _, name := range []string{"serve.requests", "serve.errors", "serve.panics", "serve.shed"} {
+	// Governor outcomes sit alongside the request counters: one series
+	// per limit kind, plus deadline and cancellation counts, so a scrape
+	// distinguishes oversized pages from slow ones before the first
+	// violation occurs.
+	for _, name := range []string{
+		seriesRequests, seriesErrors, seriesPanics, seriesShed,
+		seriesRuleHits, seriesRuleStale,
+		core.SeriesExtractions, core.SeriesErrors,
+		core.SeriesDeadlineExceeded, core.SeriesCancelled,
+		core.SeriesRuleExtractions, core.SeriesRuleMismatches,
+		core.SeriesBatchPages, core.SeriesBatchErrors,
+		core.SeriesBatchRuleHits, core.SeriesBatchWatchdog,
+		core.SeriesBatchPanics,
+		core.SeriesLimitInput, core.SeriesLimitTokens, core.SeriesLimitNodes,
+		core.SeriesLimitDepth, core.SeriesLimitObjects, core.SeriesLimitOther,
+	} {
 		s.stats.Counter(name)
 	}
-	// Governor outcomes: one series per limit kind, plus deadline and
-	// cancellation counts, so a scrape distinguishes oversized pages
-	// from slow ones before the first violation occurs.
-	for _, kind := range []string{
-		govern.KindInput, govern.KindTokens, govern.KindNodes,
-		govern.KindDepth, govern.KindObjects,
+	for _, name := range []string{
+		seriesReqExtract, seriesReqRecords, seriesReqRules,
+		seriesReqHealthz, seriesReqStatsz, seriesReqMetricsz,
+		seriesReqPprof, seriesReqOther,
 	} {
-		s.stats.Counter(`core.limit_exceeded{kind="` + kind + `"}`)
+		s.stats.Histogram(name)
 	}
-	s.stats.Counter("core.deadline_exceeded")
-	s.stats.Counter("core.cancelled")
 	for _, phase := range pipelinePhases {
 		s.stats.Histogram(obs.PhaseSeries(phase))
 	}
-	s.stats.RegisterGaugeFunc("serve.inflight", func() float64 {
+	s.stats.RegisterGaugeFunc(gaugeInflight, func() float64 {
 		return float64(s.limiter.InFlight())
 	})
-	s.stats.RegisterGaugeFunc("serve.cached_rules", func() float64 {
+	s.stats.RegisterGaugeFunc(gaugeCachedRules, func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		return float64(s.rules.Len())
 	})
-	s.stats.RegisterGaugeFunc("serve.cached_wrappers", func() float64 {
+	s.stats.RegisterGaugeFunc(gaugeCachedWrappers, func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		return float64(len(s.wrappers))
@@ -252,13 +291,22 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // cardinality bounded regardless of what paths clients probe.
 func requestSeries(path string) string {
 	switch {
-	case path == "/extract", path == "/records", path == "/rules",
-		path == "/healthz", path == "/statsz", path == "/metricsz":
-		return fmt.Sprintf("omini_request_seconds{path=%q}", path)
+	case path == "/extract":
+		return seriesReqExtract
+	case path == "/records":
+		return seriesReqRecords
+	case path == "/rules":
+		return seriesReqRules
+	case path == "/healthz":
+		return seriesReqHealthz
+	case path == "/statsz":
+		return seriesReqStatsz
+	case path == "/metricsz":
+		return seriesReqMetricsz
 	case strings.HasPrefix(path, "/debug/pprof"):
-		return `omini_request_seconds{path="/debug/pprof"}`
+		return seriesReqPprof
 	default:
-		return `omini_request_seconds{path="other"}`
+		return seriesReqOther
 	}
 }
 
@@ -287,9 +335,9 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		s.stats.Add("serve.requests", 1)
+		s.stats.Add(seriesRequests, 1)
 		if status >= 500 {
-			s.stats.Add("serve.errors", 1)
+			s.stats.Add(seriesErrors, 1)
 		}
 		s.stats.Observe(requestSeries(r.URL.Path), elapsed.Seconds())
 
@@ -333,7 +381,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler { // deliberate connection abort
 				panic(rec)
 			}
-			s.stats.Add("serve.panics", 1)
+			s.stats.Add(seriesPanics, 1)
 			s.log.Error("recovered panic",
 				"method", r.Method,
 				"path", r.URL.Path,
@@ -353,7 +401,7 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.limiter.TryAcquire() {
-			s.stats.Add("serve.shed", 1)
+			s.stats.Add(seriesShed, 1)
 			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 			writeError(w, http.StatusTooManyRequests, "server at capacity")
 			return
@@ -543,11 +591,11 @@ func (s *Server) extract(ctx context.Context, site, html string) (*core.Result, 
 		s.mu.RUnlock()
 		if err == nil {
 			if res, err := s.extractor.ExtractWithRuleContext(ctx, html, rule); err == nil {
-				s.stats.Add("serve.rule_hits", 1)
+				s.stats.Add(seriesRuleHits, 1)
 				return res, true, nil
 			}
 			// Stale rule: drop it and rediscover.
-			s.stats.Add("serve.rule_stale", 1)
+			s.stats.Add(seriesRuleStale, 1)
 			s.mu.Lock()
 			s.rules.Delete(site)
 			delete(s.wrappers, site)

@@ -55,6 +55,7 @@ func (compound) rankGoverned(root *tagtree.Node, g *govern.Guard) ([]Ranked, err
 	}
 	for i := 0; i < window; i++ {
 		for j := i + 1; j < window; j++ {
+			g.Poll()
 			anc, desc := entries[i].Node, entries[j].Node
 			if !anc.IsAncestorOf(desc) {
 				continue

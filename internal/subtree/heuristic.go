@@ -127,6 +127,7 @@ func rankCandidates(root *tagtree.Node, score func(*tagtree.Node) float64, g *go
 	entries := make([]Ranked, len(cl.nodes))
 	idx := make([]int, len(cl.nodes))
 	for i, n := range cl.nodes {
+		g.Poll()
 		entries[i] = Ranked{Node: n, Score: score(n)}
 		idx[i] = i
 	}
@@ -142,6 +143,7 @@ func rankCandidates(root *tagtree.Node, score func(*tagtree.Node) float64, g *go
 	})
 	out := make([]Ranked, len(entries))
 	for k, i := range idx {
+		g.Poll()
 		out[k] = entries[i]
 	}
 	return out, nil

@@ -58,6 +58,7 @@ func (h ltc) rankGoverned(root *tagtree.Node, g *govern.Guard) ([]Ranked, error)
 	}
 	for i := 0; i < window; i++ {
 		for j := i + 1; j < window; j++ {
+			g.Poll()
 			a, b := entries[i].Node, entries[j].Node
 			if !a.IsAncestorOf(b) && !b.IsAncestorOf(a) {
 				continue

@@ -125,6 +125,7 @@ func BuildGoverned(toks []htmlparse.Token, g *govern.Guard) (*Node, error) {
 			// The stream is balanced; pop the matching element. Guard
 			// against malformed input anyway.
 			for len(stack) > 0 {
+				g.Poll()
 				if pop().Tag == tok.Data {
 					break
 				}
@@ -151,6 +152,7 @@ func BuildGoverned(toks []htmlparse.Token, g *govern.Guard) (*Node, error) {
 		}
 	}
 	for len(stack) > 0 {
+		g.Poll()
 		pop()
 	}
 
@@ -166,6 +168,7 @@ func BuildGoverned(toks []htmlparse.Token, g *govern.Guard) (*Node, error) {
 		root.tagCount = 1
 		root.Children = make([]*Node, len(roots))
 		for i, r := range roots {
+			g.Poll()
 			r.Parent = root
 			r.Index = i + 1
 			root.Children[i] = r

@@ -226,6 +226,7 @@ func (n *normalizer) end(name string) {
 	// reopen them after (the <b><i></b></i> repair).
 	var reopen []openElem
 	for i := len(n.stack) - 1; i > idx; i-- {
+		n.g.Poll()
 		if formatTags[n.stack[i].name] {
 			reopen = append(reopen, n.stack[i])
 		}
@@ -244,6 +245,7 @@ func (n *normalizer) end(name string) {
 // incoming tag implicitly closes.
 func (n *normalizer) impliedTargetBelowFormatting(name string) bool {
 	for i := len(n.stack) - 1; i >= 0; i-- {
+		n.g.Poll()
 		el := n.stack[i].name
 		if formatTags[el] {
 			continue
@@ -259,6 +261,7 @@ func (n *normalizer) impliedTargetBelowFormatting(name string) bool {
 // cell boundaries.
 func (n *normalizer) find(name string) int {
 	for i := len(n.stack) - 1; i >= 0; i-- {
+		n.g.Poll()
 		if n.stack[i].name == name {
 			return i
 		}
@@ -310,6 +313,7 @@ func (n *normalizer) closeAll() {
 
 func (n *normalizer) has(name string) bool {
 	for i := range n.stack {
+		n.g.Poll()
 		if n.stack[i].name == name {
 			return true
 		}
