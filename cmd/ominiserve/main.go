@@ -18,6 +18,7 @@
 //	                          site's wrapper on first use
 //	GET  /rules            -> the cached extraction rules as JSON
 //	GET  /healthz          -> liveness
+//	GET  /readyz           -> readiness (503 until the -rules snapshot loads)
 //	GET  /statsz           -> JSON counter snapshot of the metrics registry
 //	GET  /metricsz         -> Prometheus-style exposition: counters, gauges,
 //	                          per-phase latency histograms with p50/p95/p99
@@ -30,6 +31,17 @@
 // extractions for up to -shutdown-grace. All logging is structured JSON on
 // stderr (one object per line), filtered by -log-level; each request emits
 // one access-log line carrying its decision summary.
+//
+// Cluster mode (-cluster) puts a consistent-hash router in front of the
+// local server: sites are sharded across the -peers nodes (keeping each
+// node's rule cache hot for its shard), membership is tracked by health
+// probes with ejection and re-admission, failed hops fail over along
+// the ring, and with every peer down the node degrades to local
+// extraction. -node-id names this node among the peers; GET /clusterz
+// reports ring membership and per-node latency:
+//
+//	ominiserve -addr :8800 -cluster -node-id a \
+//	    -peers 'a=http://10.0.0.1:8800,b=http://10.0.0.2:8800,c=http://10.0.0.3:8800'
 package main
 
 import (
@@ -38,11 +50,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"omini/internal/cluster"
 	"omini/internal/core"
 	"omini/internal/obs"
 	"omini/internal/serve"
@@ -57,6 +72,12 @@ func main() {
 		grace    = flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGTERM")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		timeout  = flag.Duration("timeout", 0, "per-page extraction deadline enforced by the resource governor (0 = default 10s, negative = unlimited)")
+
+		rulesFile = flag.String("rules", "", "rules snapshot to load at boot; /readyz stays 503 until it loads")
+		clustered = flag.Bool("cluster", false, "enable cluster mode: consistent-hash route sites across -peers")
+		peers     = flag.String("peers", "", "cluster members as id=url pairs, comma-separated (e.g. 'a=http://h1:8800,b=http://h2:8800')")
+		nodeID    = flag.String("node-id", "", "this node's id among -peers (empty = pure coordinator)")
+		probeIvl  = flag.Duration("probe-interval", time.Second, "cluster health-check period")
 	)
 	flag.Parse()
 
@@ -76,7 +97,29 @@ func main() {
 		RequestTimeout: *reqTO,
 		Limits:         limits,
 		Logger:         logger,
+		RulesFile:      *rulesFile,
 	})
+
+	var handler http.Handler = srv
+	if *clustered {
+		peerMap, err := parsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ominiserve:", err)
+			os.Exit(1)
+		}
+		coord := cluster.New(cluster.Config{
+			Self:          *nodeID,
+			Peers:         peerMap,
+			Local:         srv,
+			ProbeInterval: *probeIvl,
+			MaxBodyBytes:  *maxBytes,
+			Logger:        logger,
+		})
+		go func() { _ = coord.Run(ctx) }()
+		handler = coord
+		logger.Info("cluster mode", "self", *nodeID, "peers", len(peerMap))
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ominiserve:", err)
@@ -85,10 +128,38 @@ func main() {
 	// The "addr" field is load-bearing: with -addr :0, scripts (see
 	// scripts/ci.sh) parse it to find the chosen port.
 	logger.Info("ominiserve listening", "addr", ln.Addr().String())
-	if err := serveUntilDone(ctx, ln, srv, logger, *grace); err != nil {
+	if err := serveUntilDone(ctx, ln, handler, logger, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "ominiserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url pairs.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return peers, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, rawurl, ok := strings.Cut(pair, "=")
+		id, rawurl = strings.TrimSpace(id), strings.TrimSpace(rawurl)
+		if !ok || id == "" || rawurl == "" {
+			return nil, fmt.Errorf("bad -peers entry %q: want id=url", pair)
+		}
+		u, err := url.Parse(rawurl)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("bad -peers url %q: want http://host:port", rawurl)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers id %q", id)
+		}
+		peers[id] = strings.TrimRight(rawurl, "/")
+	}
+	return peers, nil
 }
 
 // serveUntilDone serves on ln until ctx is cancelled (SIGTERM/SIGINT),

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+
+	"omini/internal/core"
+	"omini/internal/govern"
+)
+
+// BatchResult is the cluster-level outcome for one page, in input
+// order.
+type BatchResult struct {
+	// Site echoes the request's site.
+	Site string
+	// Node is the cluster node that served the page (the fallback path
+	// is marked "<node> (fallback)"); empty when the page was never
+	// dispatched.
+	Node string
+	// Redispatched reports that the page was served by a node other
+	// than its ring owner at dispatch time — the owner died, was
+	// ejected, or shed the page mid-batch.
+	Redispatched bool
+	// Status is the HTTP status of the serving response.
+	Status int
+	// Body is the raw JSON response (the extraction payload on
+	// success, the structured error otherwise).
+	Body []byte
+	// Err is the per-page failure, if any.
+	Err error
+}
+
+// BatchOptions tune ExtractBatch.
+type BatchOptions struct {
+	// Workers bounds concurrency (default: GOMAXPROCS).
+	Workers int
+}
+
+// ExtractBatch distributes a batch across the cluster: each page is
+// routed to its site's ring owner (keeping that node's rule cache hot)
+// through the same failover walk as interactive requests, so pages
+// assigned to a node that dies mid-batch are transparently re-served
+// by survivors — or by the coordinator's local fallback when no
+// survivor remains. PR-4's batch semantics are preserved: results are
+// in input order, cancelling ctx stops dispatch promptly, and requests
+// never handed to a worker report core.ErrUndispatched wrapping
+// ctx.Err(). A page that exhausts its routing budget dead-letters with
+// govern.ErrDeadline while the pool survives.
+func (c *Coordinator) ExtractBatch(ctx context.Context, reqs []core.BatchRequest, opts BatchOptions) []BatchResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	results := make([]BatchResult, len(reqs))
+	dispatched := make([]bool, len(reqs))
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = c.extractPage(ctx, reqs[i])
+			}
+		}()
+	}
+	// The dispatch loop runs on the calling goroutine, so it owns this
+	// guard; each worker page runs under its own (extractPage).
+	g := govern.NewGuard(ctx, govern.Unlimited())
+dispatch:
+	for i := 0; i < len(reqs); i++ {
+		if err := g.Poll(); err != nil {
+			break dispatch
+		}
+		select {
+		case next <- i:
+			dispatched[i] = true
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	// Mark undispatched requests distinctly from interrupted ones.
+	for i := range reqs {
+		if !dispatched[i] {
+			results[i] = BatchResult{Site: reqs[i].Site, Err: fmt.Errorf("%w: %w", core.ErrUndispatched, ctx.Err())}
+		}
+	}
+	return results
+}
+
+// extractPage routes one batch page through the cluster, capturing the
+// response and attributing it to the node that served.
+func (c *Coordinator) extractPage(ctx context.Context, req core.BatchRequest) BatchResult {
+	g := govern.NewGuard(ctx, govern.Unlimited())
+	c.mu.RLock()
+	ring := c.ring
+	c.mu.RUnlock()
+	owner, _ := ring.owner(g, req.Site)
+
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"/extract?site="+url.QueryEscape(req.Site), strings.NewReader(req.HTML))
+	if err != nil {
+		c.stats.Add(SeriesBatchPages, 1)
+		c.stats.Add(SeriesBatchErrors, 1)
+		return BatchResult{Site: req.Site, Err: fmt.Errorf("cluster: build batch request: %w", err)}
+	}
+	hr.Header.Set("Content-Type", "text/html")
+
+	buf := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+	if c.routable(hr) {
+		c.route(buf, hr)
+	} else {
+		buf.header.Set(nodeHeader, "local")
+		c.local.ServeHTTP(buf, hr)
+	}
+
+	out := BatchResult{
+		Site:   req.Site,
+		Node:   buf.header.Get(nodeHeader),
+		Status: buf.status,
+		Body:   buf.body.Bytes(),
+	}
+	c.stats.Add(SeriesBatchPages, 1)
+	if owner != "" && out.Node != "" && out.Node != owner {
+		out.Redispatched = true
+		c.stats.Add(SeriesRedispatch, 1)
+	}
+	switch {
+	case buf.status == http.StatusGatewayTimeout:
+		out.Err = fmt.Errorf("%w: cluster: page routing budget exhausted", govern.ErrDeadline)
+	case buf.status >= 400:
+		out.Err = fmt.Errorf("cluster: page failed: status %d", buf.status)
+	}
+	if out.Err != nil {
+		c.stats.Add(SeriesBatchErrors, 1)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"omini/internal/core"
+	"omini/internal/fetch"
+	"omini/internal/resilience"
+	"omini/internal/serve"
+	"omini/internal/sitegen"
+)
+
+// chaosSpecs mirrors the fetch-layer chaos corpus: ten synthetic sites
+// across layouts and domains, twenty pages each — the 200-page batch.
+func chaosSpecs() []sitegen.SiteSpec {
+	layouts := []string{
+		"row-table", "ul-record", "dl-record", "item-table", "para-record",
+		"para-div", "div-card", "hr-record", "font-catalog", "row-table",
+	}
+	domains := []sitegen.Domain{
+		sitegen.DomainBooks, sitegen.DomainNews, sitegen.DomainProducts,
+		sitegen.DomainSearch, sitegen.DomainAuctions,
+	}
+	specs := make([]sitegen.SiteSpec, len(layouts))
+	for i, layout := range layouts {
+		specs[i] = sitegen.SiteSpec{
+			Name:       "chaos-" + string(rune('a'+i)) + ".example",
+			Domain:     domains[i%len(domains)],
+			LayoutName: layout,
+			MinItems:   5, MaxItems: 14,
+		}
+	}
+	return specs
+}
+
+// TestKillANodeChaosProof is the acceptance experiment for cluster mode:
+// a 200-page batch is fetched from a hostile upstream (connection resets
+// and slow-drip responses on top of 500s) and distributed across a
+// three-node cluster; one node is killed mid-batch. The proof obligations:
+// every page extracts (100%), results stay in input order, and the
+// failover/ejection counters record the event. Run under -race by
+// scripts/ci.sh.
+func TestKillANodeChaosProof(t *testing.T) {
+	// --- Fetch stage: pull the corpus through a faulty upstream. ---
+	corpus := fetch.NewCorpusServer()
+	var pages []sitegen.Page
+	var sites []string
+	for _, spec := range chaosSpecs() {
+		for i := 0; i < 20; i++ {
+			page := spec.Page(i)
+			corpus.Add(page)
+			pages = append(pages, page)
+			sites = append(sites, spec.Name)
+		}
+	}
+	if len(pages) != 200 {
+		t.Fatalf("corpus = %d pages, want 200", len(pages))
+	}
+
+	faulty := fetch.NewFaultyServer(corpus, fetch.FaultConfig{
+		ErrorRate:    0.10,
+		ResetRate:    0.08, // hard TCP RSTs
+		SlowDripRate: 0.07, // intact bodies, trickled
+		DripChunk:    512,
+		DripDelay:    time.Millisecond,
+		// Faults stay transient so a 5-attempt retry budget converges.
+		MaxConsecutive: 3,
+		Seed:           7,
+	})
+	if err := faulty.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer faulty.Close()
+
+	fetcher := fetch.Fetcher{Retry: &resilience.RetryPolicy{
+		MaxAttempts:    5,
+		BaseDelay:      time.Millisecond,
+		MaxDelay:       8 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+		Stats:          resilience.NewStats(),
+	}}
+	bodies := make([]string, len(pages))
+	var fwg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	for i := range pages {
+		fwg.Add(1)
+		go func(i int) {
+			defer fwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			body, err := fetcher.Fetch(context.Background(), faulty.URL(pages[i]))
+			if err != nil {
+				t.Errorf("fetch %s: %v", pages[i].Name, err)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	fwg.Wait()
+	if t.Failed() {
+		t.Fatal("fetch stage did not converge; aborting before the cluster stage")
+	}
+	bd := faulty.Breakdown()
+	if bd.Resets == 0 || bd.Drips == 0 {
+		t.Fatalf("chaos upstream too quiet: resets=%d drips=%d", bd.Resets, bd.Drips)
+	}
+
+	reqs := make([]core.BatchRequest, len(pages))
+	for i := range pages {
+		if bodies[i] != pages[i].HTML {
+			t.Fatalf("page %s: fetched body differs from source", pages[i].Name)
+		}
+		reqs[i] = core.BatchRequest{Site: sites[i], HTML: bodies[i]}
+	}
+
+	// --- Cluster stage: three nodes, one dies mid-batch. ---
+	nodes := make([]*httptest.Server, 3)
+	peers := make(map[string]string, 3)
+	for i := range nodes {
+		inner := serve.New(serve.Config{Stats: resilience.NewStats()})
+		// A small per-request delay stretches the batch past the probe
+		// interval so the kill genuinely lands mid-flight.
+		nodes[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/extract" {
+				time.Sleep(3 * time.Millisecond)
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		defer nodes[i].Close()
+		peers[fmt.Sprintf("n%d", i)] = nodes[i].URL
+	}
+	stats := resilience.NewStats()
+	c := New(Config{
+		Peers:         peers,
+		Local:         serve.New(serve.Config{Stats: stats}),
+		Stats:         stats,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		FailThreshold: 2,
+		NodeAttempts:  2,
+		RetryBase:     time.Millisecond,
+		RetryMaxDelay: 4 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = c.Run(ctx) }()
+
+	// Kill n1 once a third of the batch has been served.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		for stats.Get(SeriesBatchPages) < 65 {
+			time.Sleep(time.Millisecond)
+		}
+		nodes[1].CloseClientConnections()
+		nodes[1].Close()
+	}()
+
+	results := c.ExtractBatch(context.Background(), reqs, BatchOptions{Workers: 8})
+	<-killed
+
+	// 100% of pages extracted, in input order, each attributed to a node.
+	for i, res := range results {
+		if res.Err != nil {
+			t.Errorf("page %d (%s): %v", i, res.Site, res.Err)
+			continue
+		}
+		if res.Status != http.StatusOK {
+			t.Errorf("page %d (%s): status %d", i, res.Site, res.Status)
+			continue
+		}
+		if res.Site != reqs[i].Site {
+			t.Fatalf("result %d out of order: site %q, want %q", i, res.Site, reqs[i].Site)
+		}
+		var payload struct {
+			Site    string `json:"site"`
+			Node    string `json:"node"`
+			Objects []any  `json:"objects"`
+		}
+		if err := json.Unmarshal(res.Body, &payload); err != nil {
+			t.Fatalf("page %d: bad response JSON: %v", i, err)
+		}
+		if payload.Site != reqs[i].Site {
+			t.Fatalf("result %d out of order: body site %q, want %q", i, payload.Site, reqs[i].Site)
+		}
+		if res.Node == "" || payload.Node == "" {
+			t.Errorf("page %d (%s): missing node attribution (%q / %q)", i, res.Site, res.Node, payload.Node)
+		}
+		if len(payload.Objects) == 0 {
+			t.Errorf("page %d (%s): extracted zero objects", i, res.Site)
+		}
+	}
+
+	failover := stats.Get(SeriesFailover)
+	ejections := stats.Get(SeriesEjections)
+	redispatch := stats.Get(SeriesRedispatch)
+	t.Logf("chaos: batch_pages=%d failover=%d ejections=%d redispatch=%d fallback_local=%d resets=%d drips=%d",
+		stats.Get(SeriesBatchPages), failover, ejections, redispatch,
+		stats.Get(SeriesFallbackLocal), bd.Resets, bd.Drips)
+	if failover == 0 {
+		t.Error("cluster.failover = 0; killing a node mid-batch must force failover")
+	}
+	if ejections == 0 {
+		t.Error("cluster.ejections = 0; the health checker never ejected the dead node")
+	}
+	if got := stats.Get(SeriesBatchPages); got != 200 {
+		t.Errorf("cluster.batch_pages = %d, want 200", got)
+	}
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"omini/internal/govern"
+)
+
+// defaultReplicas is the number of virtual points each node places on
+// the ring. 64 keeps the per-node share within a few percent of even
+// for small clusters while the ring stays tiny (a 16-node cluster is
+// 1024 points, one binary search per lookup).
+const defaultReplicas = 64
+
+// ringPoint is one virtual node position on the hash circle.
+type ringPoint struct {
+	hash uint32
+	node string
+}
+
+// hashRing is a consistent-hash ring of node IDs. It is an immutable
+// snapshot: membership changes build a new ring (under the
+// coordinator's lock) rather than mutating a shared one, so lookups on
+// the routing path never contend with the health checker.
+type hashRing struct {
+	replicas int
+	points   []ringPoint
+	distinct int
+}
+
+// buildRing places every node at replicas virtual points and sorts the
+// circle. The guard is charged per point so a pathological membership
+// list cannot spin the router outside governance.
+func buildRing(g *govern.Guard, nodes []string, replicas int) (*hashRing, error) {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &hashRing{
+		replicas: replicas,
+		points:   make([]ringPoint, 0, len(nodes)*replicas),
+		distinct: len(nodes),
+	}
+	for _, node := range nodes {
+		for i := 0; i < replicas; i++ {
+			if err := g.Poll(); err != nil {
+				return nil, err
+			}
+			r.points = append(r.points, ringPoint{hash: ringHash(node + "#" + strconv.Itoa(i)), node: node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// ringHash is the point hash: FNV-1a, stable across processes so every
+// node in a symmetric deployment computes the same ring.
+func ringHash(key string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum32()
+}
+
+// size returns the number of distinct nodes on the ring.
+func (r *hashRing) size() int {
+	if r == nil {
+		return 0
+	}
+	return r.distinct
+}
+
+// successors returns up to n distinct nodes for key, in ring order
+// starting at key's successor point: the first entry is the key's
+// owner, the rest are its failover chain. The guard is charged per
+// step walked.
+func (r *hashRing) successors(g *govern.Guard, key string, n int) ([]string, error) {
+	if r == nil || len(r.points) == 0 || n <= 0 {
+		return nil, nil
+	}
+	if n > r.distinct {
+		n = r.distinct
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		if err := g.Poll(); err != nil {
+			return nil, err
+		}
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out, nil
+}
+
+// owner returns the node owning key ("" on an empty ring).
+func (r *hashRing) owner(g *govern.Guard, key string) (string, error) {
+	nodes, err := r.successors(g, key, 1)
+	if err != nil || len(nodes) == 0 {
+		return "", err
+	}
+	return nodes[0], nil
+}

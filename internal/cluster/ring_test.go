@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerIsDeterministic(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r1, err := buildRing(nil, nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := buildRing(nil, []string{"c", "a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("site-%d.example", i)
+		o1, err := r1.owner(nil, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := r2.owner(nil, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o1 != o2 {
+			t.Fatalf("key %q: owner differs across build orders: %q vs %q", key, o1, o2)
+		}
+	}
+}
+
+func TestRingBalancesKeys(t *testing.T) {
+	r, err := buildRing(nil, []string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		o, err := r.owner(nil, fmt.Sprintf("host-%d.example.com", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[o]++
+	}
+	for node, n := range counts {
+		if share := float64(n) / keys; share < 0.10 || share > 0.60 {
+			t.Errorf("node %s owns %.1f%% of keys; 64 vnodes should keep shares in [10%%, 60%%]", node, share*100)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own keys, want 3", len(counts))
+	}
+}
+
+func TestRingSuccessorsDistinctAndOwnerFirst(t *testing.T) {
+	r, err := buildRing(nil, []string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		chain, err := r.successors(nil, key, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chain) != 4 {
+			t.Fatalf("key %q: chain = %v, want 4 distinct nodes", key, chain)
+		}
+		seen := map[string]bool{}
+		for _, n := range chain {
+			if seen[n] {
+				t.Fatalf("key %q: duplicate node %q in chain %v", key, n, chain)
+			}
+			seen[n] = true
+		}
+		owner, err := r.owner(nil, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chain[0] != owner {
+			t.Fatalf("key %q: chain starts at %q, owner is %q", key, chain[0], owner)
+		}
+	}
+}
+
+// Removing one node must only remap the keys that node owned — the
+// consistent-hashing property the shard-affinity design depends on.
+func TestRingRemovalRemapsOnlyTheLostShard(t *testing.T) {
+	full, err := buildRing(nil, []string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := buildRing(nil, []string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("host-%d.example.com", i)
+		before, err := full.owner(nil, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := reduced.owner(nil, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before == "c" {
+			if after == "c" {
+				t.Fatalf("key %q still owned by removed node", key)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node changed owner; consistent hashing should move none", moved)
+	}
+}
+
+func TestRingEmptyAndNilAreSafe(t *testing.T) {
+	var r *hashRing
+	if r.size() != 0 {
+		t.Error("nil ring size != 0")
+	}
+	if o, err := r.owner(nil, "x"); err != nil || o != "" {
+		t.Errorf("nil ring owner = %q, %v", o, err)
+	}
+	empty, err := buildRing(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, err := empty.owner(nil, "x"); err != nil || o != "" {
+		t.Errorf("empty ring owner = %q, %v", o, err)
+	}
+}

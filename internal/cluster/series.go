@@ -1,0 +1,81 @@
+package cluster
+
+// Registry series emitted by this package. One constant per series —
+// the obsnames analyzer enforces that emission sites use these and
+// that registerMetrics pre-registers every one of them, so /metricsz
+// exposes the whole cluster surface from boot.
+const (
+	// SeriesRequests counts requests that entered the router (a site
+	// parameter was present and a ring exists).
+	SeriesRequests = "cluster.requests"
+	// SeriesLocal counts routed requests served by this node's own
+	// shard (owner == self, no network hop).
+	SeriesLocal = "cluster.local"
+	// SeriesProxied counts routed requests served by a peer.
+	SeriesProxied = "cluster.proxied"
+	// SeriesFailover counts hop switches: a candidate node failed (or
+	// its breaker was open) and the router moved to the next node on
+	// the ring.
+	SeriesFailover = "cluster.failover"
+	// SeriesFallbackLocal counts degraded requests: every peer for the
+	// shard was down, so the coordinator extracted locally instead of
+	// erroring.
+	SeriesFallbackLocal = "cluster.fallback_local"
+	// SeriesShedPropagated counts downstream 429/503 load-shed
+	// responses relayed to the client (with Retry-After preserved)
+	// instead of being retried blindly.
+	SeriesShedPropagated = "cluster.shed_propagated"
+	// SeriesDeadline counts requests that ran out of routing budget
+	// (mapped to 504).
+	SeriesDeadline = "cluster.deadline"
+
+	// SeriesEjections / SeriesReadmissions count health-checker
+	// membership transitions; SeriesProbes / SeriesProbeFailures count
+	// the checks themselves.
+	SeriesEjections     = "cluster.ejections"
+	SeriesReadmissions  = "cluster.readmissions"
+	SeriesProbes        = "cluster.probes"
+	SeriesProbeFailures = "cluster.probe_failures"
+
+	// SeriesBatchPages counts pages completed by distributed batches;
+	// SeriesRedispatch counts pages served by a node other than their
+	// ring owner (the owner died or was ejected mid-batch).
+	SeriesBatchPages  = "cluster.batch_pages"
+	SeriesRedispatch  = "cluster.redispatch"
+	SeriesBatchErrors = "cluster.batch_errors"
+
+	// gaugeRingNodes is the number of healthy (admitted) nodes on the
+	// ring; gaugePeers is the configured cluster size.
+	gaugeRingNodes = "cluster.ring_nodes"
+	gaugePeers     = "cluster.peers"
+
+	// seriesHopSeconds is the latency histogram of proxy hops across
+	// all peers; per-node p50/p99 live on /clusterz.
+	seriesHopSeconds = "cluster.hop_seconds"
+)
+
+// registerMetrics pre-touches every series this package emits, so a
+// scrape of a fresh process already shows the full cluster surface at
+// zero. The obsnames analyzer harvests this function as the boot
+// pre-registration set.
+func (c *Coordinator) registerMetrics() {
+	for _, name := range []string{
+		SeriesRequests, SeriesLocal, SeriesProxied, SeriesFailover,
+		SeriesFallbackLocal, SeriesShedPropagated, SeriesDeadline,
+		SeriesEjections, SeriesReadmissions, SeriesProbes, SeriesProbeFailures,
+		SeriesBatchPages, SeriesRedispatch, SeriesBatchErrors,
+	} {
+		c.stats.Counter(name)
+	}
+	c.stats.Histogram(seriesHopSeconds)
+	c.stats.RegisterGaugeFunc(gaugeRingNodes, func() float64 {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return float64(c.ring.size())
+	})
+	c.stats.RegisterGaugeFunc(gaugePeers, func() float64 {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return float64(len(c.members))
+	})
+}

@@ -34,11 +34,13 @@ type FaultyServer struct {
 	errors      atomic.Int64
 	drops       atomic.Int64
 	truncations atomic.Int64
+	resets      atomic.Int64
+	drips       atomic.Int64
 	served      atomic.Int64
 }
 
 // FaultConfig tunes the injected failure mix. Rates are probabilities in
-// [0, 1] and are tried in order: error, drop, truncate.
+// [0, 1] and are tried in order: error, drop, truncate, reset, drip.
 type FaultConfig struct {
 	// ErrorRate injects HTTP 500 responses.
 	ErrorRate float64
@@ -48,6 +50,20 @@ type FaultConfig struct {
 	// TruncateRate writes headers promising the full body, sends half,
 	// and cuts the connection (an unexpected EOF mid-body).
 	TruncateRate float64
+	// ResetRate hard-resets the connection (TCP RST via SO_LINGER 0)
+	// before any response bytes: the client sees ECONNRESET rather than
+	// a clean EOF — the signature of a crashed or firewalled host.
+	ResetRate float64
+	// SlowDripRate serves the correct full body, but trickled in
+	// DripChunk-byte writes separated by DripDelay: the response is
+	// eventually complete yet slow enough to trip client deadlines —
+	// the classic overloaded-host failure a timeout must catch because
+	// no error ever surfaces.
+	SlowDripRate float64
+	// DripChunk is the bytes written per drip (default 64).
+	DripChunk int
+	// DripDelay is the pause between drips (default 20ms).
+	DripDelay time.Duration
 	// MaxLatency adds a uniform random delay in [0, MaxLatency) to every
 	// response, including faulty ones.
 	MaxLatency time.Duration
@@ -119,10 +135,34 @@ func (s *FaultyServer) Close() error {
 	return srv.Close()
 }
 
-// FaultCounts reports how many of each fault were injected and how many
-// requests were served cleanly.
+// FaultCounts reports how many of each of the original fault kinds were
+// injected and how many requests were served cleanly. Resets and drips
+// are in Breakdown.
 func (s *FaultyServer) FaultCounts() (errors, drops, truncations, served int64) {
 	return s.errors.Load(), s.drops.Load(), s.truncations.Load(), s.served.Load()
+}
+
+// FaultBreakdown is the full injected-fault tally.
+type FaultBreakdown struct {
+	Errors      int64
+	Drops       int64
+	Truncations int64
+	Resets      int64
+	Drips       int64
+	Served      int64
+}
+
+// Breakdown reports every fault tally, including the connection-reset
+// and slow-drip modes.
+func (s *FaultyServer) Breakdown() FaultBreakdown {
+	return FaultBreakdown{
+		Errors:      s.errors.Load(),
+		Drops:       s.drops.Load(),
+		Truncations: s.truncations.Load(),
+		Resets:      s.resets.Load(),
+		Drips:       s.drips.Load(),
+		Served:      s.served.Load(),
+	}
 }
 
 // fault is the per-request injection decision.
@@ -133,6 +173,8 @@ const (
 	faultError
 	faultDrop
 	faultTruncate
+	faultReset
+	faultDrip
 )
 
 // pick rolls the fault dice for a path, honoring the consecutive-fault cap.
@@ -156,6 +198,10 @@ func (s *FaultyServer) pick(path string) (fault, time.Duration) {
 		f = faultDrop
 	case r < s.cfg.ErrorRate+s.cfg.DropRate+s.cfg.TruncateRate:
 		f = faultTruncate
+	case r < s.cfg.ErrorRate+s.cfg.DropRate+s.cfg.TruncateRate+s.cfg.ResetRate:
+		f = faultReset
+	case r < s.cfg.ErrorRate+s.cfg.DropRate+s.cfg.TruncateRate+s.cfg.ResetRate+s.cfg.SlowDripRate:
+		f = faultDrip
 	}
 	if f == faultNone {
 		s.consec[path] = 0
@@ -187,6 +233,12 @@ func (s *FaultyServer) handle(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.abort(w, &page)
+	case faultReset:
+		s.resets.Add(1)
+		s.reset(w)
+	case faultDrip:
+		s.drips.Add(1)
+		s.drip(w, r)
 	default:
 		s.served.Add(1)
 		s.corpus.handle(w, r)
@@ -213,4 +265,71 @@ func (s *FaultyServer) abort(w http.ResponseWriter, page *sitegen.Page) {
 	fmt.Fprintf(buf, "HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: %d\r\n\r\n", len(page.HTML))
 	_, _ = io.WriteString(buf, page.HTML[:len(page.HTML)/2])
 	_ = buf.Flush()
+}
+
+// reset hijacks the connection and sends a TCP RST (SO_LINGER 0 makes
+// Close abort instead of FIN): the client's read fails with
+// ECONNRESET before any response bytes arrive.
+func (s *FaultyServer) reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic(http.ErrAbortHandler)
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = conn.Close()
+}
+
+// drip serves the correct page, trickled: headers immediately, then the
+// body in DripChunk-byte writes separated by DripDelay, each chunk
+// flushed. The response completes eventually, so only a client-side
+// deadline notices. The drip aborts early when the client gives up
+// (request context cancelled) so slow responses don't pin handlers.
+func (s *FaultyServer) drip(w http.ResponseWriter, r *http.Request) {
+	s.corpus.mu.RLock()
+	page, ok := s.corpus.pages[r.URL.Path]
+	s.corpus.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	chunk := s.cfg.DripChunk
+	if chunk <= 0 {
+		chunk = 64
+	}
+	delay := s.cfg.DripDelay
+	if delay <= 0 {
+		delay = 20 * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Content-Length", fmt.Sprint(len(page.HTML)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	body := page.HTML
+	for len(body) > 0 {
+		n := chunk
+		if n > len(body) {
+			n = len(body)
+		}
+		if _, err := io.WriteString(w, body[:n]); err != nil {
+			return
+		}
+		body = body[n:]
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if len(body) == 0 {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(delay):
+		}
+	}
 }

@@ -1,0 +1,101 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"omini/internal/sitegen"
+)
+
+// A reset-mode fault is a hard TCP RST before any response bytes: the
+// client sees a connection error (ECONNRESET on Linux), never a status.
+func TestFaultyServerConnectionReset(t *testing.T) {
+	corpus := NewCorpusServer()
+	page := sitegen.Canoe()
+	corpus.Add(page)
+	faulty := NewFaultyServer(corpus, FaultConfig{ResetRate: 1})
+	if err := faulty.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer faulty.Close()
+
+	resp, err := http.Get(faulty.URL(page))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("reset-mode request succeeded with status %d, want connection error", resp.StatusCode)
+	}
+	if !errors.Is(err, syscall.ECONNRESET) && !errors.Is(err, io.EOF) && !os.IsTimeout(err) {
+		// RST propagation varies by platform/timing; a connection-level
+		// failure of any kind is the point — a clean HTTP response is not.
+		t.Logf("reset surfaced as: %v", err)
+	}
+	if got := faulty.Breakdown().Resets; got != 1 {
+		t.Errorf("Breakdown().Resets = %d, want 1", got)
+	}
+}
+
+// Drip mode serves the complete, correct body — just slowly. A patient
+// client gets the page; a deadline-bound client fails by timeout even
+// though no error is ever sent. Both halves matter: the mode must not
+// corrupt data, and it must be slow enough to exercise deadlines.
+func TestFaultyServerSlowDrip(t *testing.T) {
+	corpus := NewCorpusServer()
+	page := sitegen.Canoe()
+	corpus.Add(page)
+	faulty := NewFaultyServer(corpus, FaultConfig{
+		SlowDripRate: 1,
+		DripChunk:    len(page.HTML)/10 + 1,
+		DripDelay:    10 * time.Millisecond,
+	})
+	if err := faulty.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer faulty.Close()
+
+	// Patient client: the full body arrives intact.
+	start := time.Now()
+	resp, err := http.Get(faulty.URL(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read dripped body: %v", err)
+	}
+	if string(body) != page.HTML {
+		t.Fatalf("dripped body differs from page: got %d bytes, want %d", len(body), len(page.HTML))
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("drip completed in %v; too fast to exercise client deadlines", elapsed)
+	}
+
+	// Deadline-bound client: the trickle outlasts the budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, faulty.URL(page), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("deadline-bound drip read succeeded, want timeout")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("drip under deadline failed with %v, want deadline error", err)
+	}
+	if got := faulty.Breakdown().Drips; got != 2 {
+		t.Errorf("Breakdown().Drips = %d, want 2", got)
+	}
+}

@@ -6,10 +6,11 @@ import (
 	"strings"
 )
 
-// governedPackages are the seven phase packages whose hot loops run
-// under the resource governor (DESIGN.md §10). governloop scopes
-// itself by final path segment so the rule applies equally to the real
-// module and to fixture trees.
+// governedPackages are the packages whose hot loops run under the
+// resource governor (DESIGN.md §10): the seven phase packages plus the
+// cluster routing layer, whose ring walks and probe sweeps run on the
+// serving path. governloop scopes itself by final path segment so the
+// rule applies equally to the real module and to fixture trees.
 var governedPackages = map[string]bool{
 	"htmlparse": true,
 	"tidy":      true,
@@ -18,6 +19,7 @@ var governedPackages = map[string]bool{
 	"separator": true,
 	"combine":   true,
 	"extract":   true,
+	"cluster":   true,
 }
 
 // guardChargeMethods are the govern.Guard methods that charge a budget

@@ -5,10 +5,20 @@ import (
 	"strconv"
 )
 
-// purePackages are the deterministic phase packages: same set as the
-// governed packages. Their golden and differential tests are only
-// meaningful if output depends on input alone.
-var purePackages = governedPackages
+// purePackages are the deterministic phase packages. Their golden and
+// differential tests are only meaningful if output depends on input
+// alone. This is the governed set minus cluster: the cluster routing
+// layer runs under the governor too, but it is a network component —
+// clocks and HTTP are its job, not a purity leak.
+var purePackages = map[string]bool{
+	"htmlparse": true,
+	"tidy":      true,
+	"tagtree":   true,
+	"subtree":   true,
+	"separator": true,
+	"combine":   true,
+	"extract":   true,
+}
 
 // impureImports are packages a pure phase must not import at all:
 // randomness and I/O surfaces.

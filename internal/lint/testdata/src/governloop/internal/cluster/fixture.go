@@ -1,0 +1,44 @@
+// Package cluster exercises governloop on the cluster routing layer:
+// ring walks and probe sweeps are governed code, so their loops must
+// charge the guard and exported entry points may not loop bare.
+package cluster
+
+import "fixture/internal/govern"
+
+// Successors charges per ring step: conforming.
+func Successors(points []int, g *govern.Guard) int {
+	total := 0
+	for _, p := range points {
+		g.Poll()
+		total += p
+	}
+	return total
+}
+
+// probeSweep takes a guard but skips it in its sweep loop.
+func probeSweep(nodes []string, g *govern.Guard) int {
+	alive := 0
+	for range nodes { // want "does not charge the \\*govern.Guard"
+		alive++
+	}
+	return alive
+}
+
+// Route loops over candidates with no guard anywhere.
+func Route(candidates []string) string { // want "exported entry point Route loops without"
+	last := ""
+	for _, c := range candidates {
+		last = c
+	}
+	return last
+}
+
+// Rebuild loops but delegates each node to a guard-taking function:
+// conforming.
+func Rebuild(shards [][]int) int {
+	total := 0
+	for _, s := range shards {
+		total += Successors(s, nil)
+	}
+	return total
+}

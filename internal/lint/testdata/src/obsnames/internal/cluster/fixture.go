@@ -1,0 +1,25 @@
+// Package cluster exercises obsnames on the cluster routing layer: as
+// a pre-registration package, every cluster.* series it emits must be
+// constant, grammatical, and present in registerMetrics.
+package cluster
+
+import "fixture/internal/obs"
+
+const (
+	seriesFailover  = "cluster.failover"
+	seriesEjections = "cluster.ejections"
+	seriesForgotten = "cluster.forgotten_total"
+)
+
+func registerMetrics(r *obs.Registry) {
+	r.Counter(seriesFailover)
+	r.Counter(seriesEjections)
+}
+
+func emit(r *obs.Registry, node string) {
+	r.Add(seriesFailover, 1)
+	r.Add(seriesEjections, 1)
+	r.Add(seriesForgotten, 1)       // want "missing from the boot pre-registration set"
+	r.Add("cluster.node."+node, 1)  // want "must be a compile-time constant"
+	r.Add("cluster.{bad_label}", 1) // want "does not match the registry grammar"
+}

@@ -36,6 +36,21 @@ func (s BreakerState) String() string {
 	return "unknown"
 }
 
+// Breaker state-transition counters. Every transition of every breaker
+// increments exactly one of these, so an operator can read flapping
+// (open and closed both climbing) versus a stuck outage (open climbing
+// alone) straight off /metricsz.
+const (
+	// SeriesBreakerOpen counts transitions into the open state (a trip,
+	// from closed or from a failed half-open probe).
+	SeriesBreakerOpen = "resilience.breaker_open"
+	// SeriesBreakerHalfOpen counts cooldown expiries admitting a probe.
+	SeriesBreakerHalfOpen = "resilience.breaker_half_open"
+	// SeriesBreakerClosed counts recoveries: a success observed while
+	// the breaker was open or half-open.
+	SeriesBreakerClosed = "resilience.breaker_closed"
+)
+
 // BreakerConfig tunes a Breaker. The zero value selects the defaults.
 type BreakerConfig struct {
 	// FailureThreshold is the number of consecutive transient failures
@@ -103,6 +118,7 @@ func (b *Breaker) Allow() bool {
 		}
 		b.state = StateHalfOpen
 		b.probing = true
+		b.cfg.Stats.Add(SeriesBreakerHalfOpen, 1)
 		return true
 	case StateHalfOpen:
 		if b.probing {
@@ -120,6 +136,9 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != StateClosed {
+		b.cfg.Stats.Add(SeriesBreakerClosed, 1)
+	}
 	b.state = StateClosed
 	b.failures = 0
 	b.probing = false
@@ -147,7 +166,8 @@ func (b *Breaker) trip() {
 	b.failures = 0
 	b.probing = false
 	b.until = b.cfg.Clock().Add(b.cfg.Cooldown)
-	b.cfg.Stats.Add("breaker.opened", 1)
+	b.cfg.Stats.Add("breaker.opened", 1) // legacy alias of SeriesBreakerOpen
+	b.cfg.Stats.Add(SeriesBreakerOpen, 1)
 }
 
 // State returns the current state (resolving an expired cooldown lazily is

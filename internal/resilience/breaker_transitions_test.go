@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// The breaker's state transitions are first-class series: a full
+// open -> half-open probe -> closed cycle increments each counter
+// exactly once, and a failed probe re-opens rather than closing.
+func TestBreakerTransitionCounters(t *testing.T) {
+	now := time.Unix(0, 0)
+	stats := NewStats()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 2,
+		Cooldown:         10 * time.Second,
+		Clock:            func() time.Time { return now },
+		Stats:            stats,
+	})
+
+	counts := func() (open, half, closed int64) {
+		return stats.Get(SeriesBreakerOpen), stats.Get(SeriesBreakerHalfOpen), stats.Get(SeriesBreakerClosed)
+	}
+
+	// A success while already closed is not a transition.
+	b.Success()
+	if open, half, closed := counts(); open != 0 || half != 0 || closed != 0 {
+		t.Fatalf("counters after no-op success = %d/%d/%d, want 0/0/0", open, half, closed)
+	}
+
+	// Trip it: closed -> open.
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	if open, _, _ := counts(); open != 1 {
+		t.Fatalf("breaker_open = %d after trip, want 1", open)
+	}
+
+	// Cooldown expiry admits the probe: open -> half-open.
+	now = now.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if _, half, _ := counts(); half != 1 {
+		t.Fatalf("breaker_half_open = %d after probe admission, want 1", half)
+	}
+
+	// Probe succeeds: half-open -> closed.
+	b.Success()
+	if open, half, closed := counts(); open != 1 || half != 1 || closed != 1 {
+		t.Fatalf("counters after recovery = %d/%d/%d, want 1/1/1", open, half, closed)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+
+	// Second outage whose probe fails: the trip from half-open counts
+	// as another open, never a close.
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure() // trips again (threshold 2)
+	now = now.Add(11 * time.Second)
+	b.Allow()   // half-open probe admitted
+	b.Failure() // failed probe: half-open -> open
+	open, half, closed := counts()
+	if open != 3 || half != 2 || closed != 1 {
+		t.Fatalf("counters after failed probe = %d/%d/%d, want 3/2/1", open, half, closed)
+	}
+}

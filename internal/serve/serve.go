@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"omini/internal/core"
@@ -66,6 +67,13 @@ type Config struct {
 	// core.DefaultLimits(); violations surface as 413 (input too
 	// large), 422 (budget exceeded) or 504 (page deadline).
 	Limits core.Limits
+	// RulesFile optionally seeds the rule store from a rules.Save
+	// snapshot. Readiness (/readyz) is gated on the load: the server
+	// answers 503 until the snapshot is in, so a load balancer or the
+	// cluster health checker never routes shard traffic to a node whose
+	// caches would miss. Empty means no snapshot and immediate
+	// readiness.
+	RulesFile string
 }
 
 const (
@@ -101,6 +109,7 @@ const (
 	seriesReqRecords  = `omini_request_seconds{path="/records"}`
 	seriesReqRules    = `omini_request_seconds{path="/rules"}`
 	seriesReqHealthz  = `omini_request_seconds{path="/healthz"}`
+	seriesReqReadyz   = `omini_request_seconds{path="/readyz"}`
 	seriesReqStatsz   = `omini_request_seconds{path="/statsz"}`
 	seriesReqMetricsz = `omini_request_seconds{path="/metricsz"}`
 	seriesReqPprof    = `omini_request_seconds{path="/debug/pprof"}`
@@ -115,6 +124,10 @@ type Server struct {
 	limiter   *resilience.Limiter
 	stats     *resilience.Stats
 	log       *obs.Logger
+
+	// ready flips once the rule store is loaded (immediately when no
+	// RulesFile is configured); /readyz reports it.
+	ready atomic.Bool
 
 	mu       sync.RWMutex
 	rules    *rules.Store
@@ -151,6 +164,7 @@ func New(cfg Config) *Server {
 		wrappers:  make(map[string]*wrapgen.Wrapper),
 	}
 	s.registerMetrics()
+	s.loadRules()
 
 	// Extraction endpoints run behind the load shed and request deadline;
 	// health, stats and profiling probes stay outside so an overloaded
@@ -165,6 +179,7 @@ func New(cfg Config) *Server {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
 	})
+	root.HandleFunc("GET /readyz", s.handleReadyz)
 	root.HandleFunc("GET /statsz", s.handleStatsz)
 	root.HandleFunc("GET /metricsz", s.handleMetricsz)
 	root.HandleFunc("/debug/pprof/", pprof.Index)
@@ -202,8 +217,8 @@ func (s *Server) registerMetrics() {
 	}
 	for _, name := range []string{
 		seriesReqExtract, seriesReqRecords, seriesReqRules,
-		seriesReqHealthz, seriesReqStatsz, seriesReqMetricsz,
-		seriesReqPprof, seriesReqOther,
+		seriesReqHealthz, seriesReqReadyz, seriesReqStatsz,
+		seriesReqMetricsz, seriesReqPprof, seriesReqOther,
 	} {
 		s.stats.Histogram(name)
 	}
@@ -228,6 +243,43 @@ func (s *Server) registerMetrics() {
 // ServeHTTP dispatches through the hardened middleware chain.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
+}
+
+// loadRules seeds the rule store from Config.RulesFile and flips the
+// readiness gate. Liveness (/healthz) and readiness are deliberately
+// split: a process that failed its snapshot load is alive (don't
+// restart it into a crash loop) but not ready (don't route to it).
+func (s *Server) loadRules() {
+	if s.cfg.RulesFile == "" {
+		s.ready.Store(true)
+		return
+	}
+	store, err := rules.Load(s.cfg.RulesFile)
+	if err != nil {
+		s.log.Error("rules snapshot load failed; staying not-ready",
+			"file", s.cfg.RulesFile, "err", err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.rules = store
+	s.mu.Unlock()
+	s.log.Info("rules snapshot loaded", "file", s.cfg.RulesFile, "rules", store.Len())
+	s.ready.Store(true)
+}
+
+// Ready reports whether the server would pass its own /readyz probe.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// handleReadyz is the readiness probe: 200 once the rule store is
+// loaded, 503 before (or forever, on a bad snapshot).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "not ready: rules not loaded\n")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ready\n")
 }
 
 // reqInfo is the per-request decision summary handlers fill in for the
@@ -299,6 +351,8 @@ func requestSeries(path string) string {
 		return seriesReqRules
 	case path == "/healthz":
 		return seriesReqHealthz
+	case path == "/readyz":
+		return seriesReqReadyz
 	case path == "/statsz":
 		return seriesReqStatsz
 	case path == "/metricsz":
@@ -313,8 +367,8 @@ func requestSeries(path string) string {
 // operational marks endpoints whose access-log lines go to Debug rather
 // than Info, so scrapers and probes don't flood the log.
 func operational(path string) bool {
-	return path == "/healthz" || path == "/statsz" || path == "/metricsz" ||
-		strings.HasPrefix(path, "/debug/pprof")
+	return path == "/healthz" || path == "/readyz" || path == "/statsz" ||
+		path == "/metricsz" || strings.HasPrefix(path, "/debug/pprof")
 }
 
 // withObs threads the metrics registry into the request context (so the

@@ -33,6 +33,14 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Cluster mode: the kill-a-node chaos proof must stay race-clean — a
+# 200-page batch (fetched through connection resets and slow-drip
+# responses) across a three-node cluster with one node killed mid-batch
+# completes 100% in input order, with failover and ejection recorded
+# (DESIGN.md §12).
+echo "==> cluster kill-a-node chaos under -race"
+go test -race -run '^TestKillANodeChaosProof$' ./internal/cluster/
+
 # Resource governor: every adversarial page in testdata/pathological must
 # extract or fail fast with a typed limit/deadline error under the race
 # detector — no hangs, panics, or stack overflows (DESIGN.md §10).
