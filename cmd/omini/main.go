@@ -9,7 +9,10 @@
 //	omini -rules rules.json -site www.example.com page.html
 //
 // With -rules, discovered extraction rules are cached per site and replayed
-// on later runs (the paper's Section 6.6 fast path). With -trace, the run
+// on later runs (the paper's Section 6.6 fast path); the file may be a
+// legacy rules array or an ominiserve -rule-store snapshot — the wrapper
+// farm's persisted store and the CLI cache are interchangeable. With
+// -trace, the run
 // emits a JSON decision trace — subtree rankings, each separator
 // heuristic's votes, the combined probabilities, and per-phase wall/alloc
 // costs — explaining why the pipeline chose what it chose. With -metrics,

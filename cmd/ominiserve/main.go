@@ -17,6 +17,8 @@
 //	POST /records?site=S   -> wrapper records (named fields); learns the
 //	                          site's wrapper on first use
 //	GET  /rules            -> the cached extraction rules as JSON
+//	GET  /rulesz           -> wrapper-farm state: per-site rule versions,
+//	                          hit counts, drift-check readiness, store size
 //	GET  /healthz          -> liveness
 //	GET  /readyz           -> readiness (503 until the -rules snapshot loads)
 //	GET  /statsz           -> JSON counter snapshot of the metrics registry
@@ -31,6 +33,14 @@
 // extractions for up to -shutdown-grace. All logging is structured JSON on
 // stderr (one object per line), filtered by -log-level; each request emits
 // one access-log line carrying its decision summary.
+//
+// Learned rules live in the wrapper farm: the first request for a host
+// runs discovery (concurrent first requests coalesce into one), later
+// requests replay the learned rule, and a background revalidator
+// drift-checks sampled fast-path pages every -relearn-interval so a
+// site redesign evicts and relearns its rule. With -rule-store the
+// farm persists across restarts (versioned JSON, atomic writes, saved
+// on change and at shutdown); a store file also loads via -rules.
 //
 // Cluster mode (-cluster) puts a consistent-hash router in front of the
 // local server: sites are sharded across the -peers nodes (keeping each
@@ -73,11 +83,13 @@ func main() {
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		timeout  = flag.Duration("timeout", 0, "per-page extraction deadline enforced by the resource governor (0 = default 10s, negative = unlimited)")
 
-		rulesFile = flag.String("rules", "", "rules snapshot to load at boot; /readyz stays 503 until it loads")
-		clustered = flag.Bool("cluster", false, "enable cluster mode: consistent-hash route sites across -peers")
-		peers     = flag.String("peers", "", "cluster members as id=url pairs, comma-separated (e.g. 'a=http://h1:8800,b=http://h2:8800')")
-		nodeID    = flag.String("node-id", "", "this node's id among -peers (empty = pure coordinator)")
-		probeIvl  = flag.Duration("probe-interval", time.Second, "cluster health-check period")
+		rulesFile  = flag.String("rules", "", "rules snapshot to load at boot; /readyz stays 503 until it loads")
+		ruleStore  = flag.String("rule-store", "", "persist learned rules here (versioned JSON, atomic writes); loaded on boot, saved on change and on shutdown")
+		relearnIvl = flag.Duration("relearn-interval", time.Minute, "background drift-revalidation sweep period (negative = disabled)")
+		clustered  = flag.Bool("cluster", false, "enable cluster mode: consistent-hash route sites across -peers")
+		peers      = flag.String("peers", "", "cluster members as id=url pairs, comma-separated (e.g. 'a=http://h1:8800,b=http://h2:8800')")
+		nodeID     = flag.String("node-id", "", "this node's id among -peers (empty = pure coordinator)")
+		probeIvl   = flag.Duration("probe-interval", time.Second, "cluster health-check period")
 	)
 	flag.Parse()
 
@@ -92,13 +104,19 @@ func main() {
 	// per-page deadline on top of the per-request one.
 	limits := core.Limits{MaxInputBytes: int(*maxBytes), Deadline: *timeout}
 	srv := serve.New(serve.Config{
-		MaxBodyBytes:   *maxBytes,
-		MaxInFlight:    *inflight,
-		RequestTimeout: *reqTO,
-		Limits:         limits,
-		Logger:         logger,
-		RulesFile:      *rulesFile,
+		MaxBodyBytes:    *maxBytes,
+		MaxInFlight:     *inflight,
+		RequestTimeout:  *reqTO,
+		Limits:          limits,
+		Logger:          logger,
+		RulesFile:       *rulesFile,
+		RuleStorePath:   *ruleStore,
+		RelearnInterval: *relearnIvl,
 	})
+	// The farm's background loop: drift-sample revalidation plus
+	// periodic rule-store flushes. It stops with the signal context;
+	// the post-drain Close below writes the final snapshot.
+	go func() { _ = srv.Run(ctx) }()
 
 	var handler http.Handler = srv
 	if *clustered {
@@ -130,6 +148,10 @@ func main() {
 	logger.Info("ominiserve listening", "addr", ln.Addr().String())
 	if err := serveUntilDone(ctx, ln, handler, logger, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "ominiserve:", err)
+		os.Exit(1)
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ominiserve: rule store save:", err)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"omini/internal/farm"
+	"omini/internal/resilience"
+	"omini/internal/serve"
+	"omini/internal/sitegen"
+)
+
+// TestFarmShardAffinity is the scale-out claim behind the wrapper
+// farm: consistent-hash routing pins each site to one node, so each
+// node's farm learns only its own hosts — exactly one discovery per
+// site cluster-wide — and every repeat request is a farm hit on the
+// node that learned it. Without affinity, each node would relearn
+// every site it happened to receive.
+func TestFarmShardAffinity(t *testing.T) {
+	const nNodes, nSites, nRounds = 3, 8, 3
+
+	registries := make([]*resilience.Stats, nNodes)
+	peers := make(map[string]string, nNodes)
+	for i := range registries {
+		registries[i] = resilience.NewStats()
+		ts := httptest.NewServer(serve.New(serve.Config{Stats: registries[i]}))
+		t.Cleanup(ts.Close)
+		peers[fmt.Sprintf("n%d", i)] = ts.URL
+	}
+	coordStats := resilience.NewStats()
+	c := New(Config{
+		Peers:         peers,
+		Local:         serve.New(serve.Config{Stats: coordStats}),
+		Stats:         coordStats,
+		ProbeInterval: 20 * time.Millisecond,
+		NodeAttempts:  2,
+		RetryBase:     time.Millisecond,
+		RetryMaxDelay: 4 * time.Millisecond,
+	})
+
+	layouts := []string{"ul-record", "div-card", "row-table", "dl-record"}
+	pages := make([]sitegen.Page, nSites)
+	for i := range pages {
+		pages[i] = sitegen.SiteSpec{
+			Name:       fmt.Sprintf("affinity-%d.example", i),
+			Domain:     sitegen.DomainBooks,
+			LayoutName: layouts[i%len(layouts)],
+			MinItems:   6,
+			MaxItems:   10,
+		}.Page(0)
+	}
+
+	for round := 0; round < nRounds; round++ {
+		for _, page := range pages {
+			resp, _ := postPage(t, c, page.Site, page.HTML)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("round %d site %s: status %d", round, page.Site, resp.StatusCode)
+			}
+		}
+	}
+
+	var learns, hits int64
+	for i, reg := range registries {
+		l, h := reg.Get(farm.SeriesLearns), reg.Get(farm.SeriesHits)
+		t.Logf("node n%d: farm.learns=%d farm.hits=%d", i, l, h)
+		learns += l
+		hits += h
+	}
+	if learns != nSites {
+		t.Fatalf("cluster-wide farm.learns = %d, want exactly %d (one discovery per site)", learns, nSites)
+	}
+	if want := int64(nSites * (nRounds - 1)); hits != want {
+		t.Fatalf("cluster-wide farm.hits = %d, want %d (every repeat request served fast-path)", hits, want)
+	}
+	if l := coordStats.Get(farm.SeriesLearns); l != 0 {
+		t.Fatalf("coordinator's local farm learned %d rules; routed traffic must not touch it", l)
+	}
+}

@@ -1,0 +1,601 @@
+// Package farm is the wrapper farm: the rule-cache-first serving layer
+// in front of internal/rules that industrializes the paper's Table 17
+// observation — once a site's rule (subtree path + separator) is
+// learned, extraction can skip Phase 2 discovery entirely, an
+// order-of-magnitude latency win on repeat-host traffic.
+//
+// The farm keeps compiled per-site rules in a sharded in-memory LRU.
+// The first request for a host runs full discovery under a singleflight
+// (N concurrent first requests trigger exactly one discovery; the rest
+// wait and replay the learned rule); every later request takes the
+// rule fast path. Learned rules are treated as first-class, versioned,
+// revalidated artifacts rather than a transient cache: they persist in
+// a JSON-on-disk store (atomic writes, survives restarts, loadable via
+// the ominiserve -rules snapshot path), each relearn bumps the rule's
+// version, and a background revalidator samples fast-path extractions
+// through wrapgen's drift detection so a site redesign evicts and
+// relearns the rule instead of serving silent garbage.
+//
+// Everything the farm does is observable: farm.* counters (hits,
+// misses, learns, coalesced, stale, drift checks/detections, relearns,
+// evictions, store saves), a fast-vs-slow-path latency histogram split
+// (farm.path_seconds{path="fast"|"slow"}), and rule-count / store-size
+// gauges — all on /metricsz, with a per-site view on GET /rulesz.
+package farm
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omini/internal/core"
+	"omini/internal/govern"
+	"omini/internal/obs"
+	"omini/internal/rules"
+	"omini/internal/tagtree"
+	"omini/internal/wrapgen"
+)
+
+// Config tunes a Farm. The zero value is usable: paper-default
+// extractor, 16 shards × 4096 total rules, drift sampling every 32nd
+// hit, revalidation sweep every minute, no persistence.
+type Config struct {
+	// Extractor runs both paths; nil builds one with default options.
+	Extractor *core.Extractor
+	// Shards is the lock-stripe count of the rule cache (default 16).
+	Shards int
+	// Capacity caps the total cached rules across all shards
+	// (default 4096); the least recently used rule is evicted first.
+	Capacity int
+	// SampleEvery drift-samples every Nth fast-path hit per site
+	// (default 32; negative disables sampling).
+	SampleEvery int
+	// SampleQueue bounds the pending revalidation samples (default 64);
+	// excess samples are dropped, never blocking the serving path.
+	SampleQueue int
+	// DriftThreshold is the drift score past which a rule is evicted
+	// and relearned (default wrapgen.DefaultDriftThreshold).
+	DriftThreshold float64
+	// RelearnInterval is the background sweep period: each sweep flags
+	// every cached rule for revalidation on its next hit and flushes
+	// the store if dirty (default 1m; negative disables the sweep).
+	RelearnInterval time.Duration
+	// StorePath persists the farm as a versioned snapshot: loaded at
+	// New, saved by Run's sweeps and by Close. Empty disables
+	// persistence.
+	StorePath string
+	// RecoverCorruptStore makes New treat an unreadable StorePath as an
+	// empty store (logged) instead of failing; freshly learned rules
+	// then overwrite the bad file on the next save. Servers set this —
+	// a corrupt cache file should cost a cold start, not the process.
+	RecoverCorruptStore bool
+	// Stats receives the farm.* metrics; nil uses obs.Default.
+	Stats *obs.Registry
+	// Logger receives drift and store events; nil uses
+	// obs.DefaultLogger().
+	Logger *obs.Logger
+}
+
+const (
+	defaultShards          = 16
+	defaultCapacity        = 4096
+	defaultSampleEvery     = 32
+	defaultSampleQueue     = 64
+	defaultRelearnInterval = time.Minute
+)
+
+// Outcome reports how one extraction was served.
+type Outcome struct {
+	// FromRule is true when the result came from cached-rule replay
+	// (the fast path).
+	FromRule bool
+	// Learned is true when this request ran full discovery and stored
+	// the resulting rule (a miss, or the singleflight leader).
+	Learned bool
+	// Relearned is true when a cached rule stopped matching and this
+	// request rediscovered it (Learned is also true).
+	Relearned bool
+	// Coalesced is true when the request joined another request's
+	// in-flight discovery instead of running its own.
+	Coalesced bool
+}
+
+// sample is one fast-path extraction queued for background drift
+// revalidation: the page (for relearning), its already-built tree (so
+// the drift check costs no reparse), and the training signature plus
+// version of the rule that served it.
+type sample struct {
+	site    string
+	html    string
+	root    *tagtree.Node
+	sig     tagtree.Signature
+	version int
+}
+
+// flight is one in-progress discovery other requests for the same
+// site can wait on.
+type flight struct {
+	done chan struct{}
+	rule rules.Rule
+	err  error
+}
+
+// Farm is the rule-cache-first serving layer. Create with New; Run
+// drives background revalidation and store flushes; Close final-saves.
+type Farm struct {
+	cfg    Config
+	ex     *core.Extractor
+	stats  *obs.Registry
+	log    *obs.Logger
+	shards []*shard
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	samples chan sample
+
+	dirty      atomic.Bool
+	storeBytes atomic.Int64
+	saveMu     sync.Mutex
+}
+
+// New returns a farm, seeded from Config.StorePath when the file
+// exists. A missing store file is a fresh start, not an error; a
+// corrupt or too-new one is an error (the caller decides whether to
+// boot empty).
+func New(cfg Config) (*Farm, error) {
+	if cfg.Extractor == nil {
+		cfg.Extractor = core.New(core.Options{})
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = defaultCapacity
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = defaultSampleEvery
+	}
+	if cfg.SampleQueue <= 0 {
+		cfg.SampleQueue = defaultSampleQueue
+	}
+	if cfg.DriftThreshold <= 0 {
+		cfg.DriftThreshold = wrapgen.DefaultDriftThreshold
+	}
+	if cfg.RelearnInterval == 0 {
+		cfg.RelearnInterval = defaultRelearnInterval
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = obs.Default
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.DefaultLogger()
+	}
+	f := &Farm{
+		cfg:     cfg,
+		ex:      cfg.Extractor,
+		stats:   cfg.Stats,
+		log:     cfg.Logger,
+		flights: make(map[string]*flight),
+		samples: make(chan sample, cfg.SampleQueue),
+	}
+	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	f.shards = make([]*shard, cfg.Shards)
+	g := govern.NewGuard(context.Background(), govern.Unlimited())
+	for i := range f.shards {
+		if err := g.Poll(); err != nil {
+			break
+		}
+		f.shards[i] = newShard(perShard, func(string) {
+			f.stats.Add(SeriesEvictions, 1)
+		})
+	}
+	f.registerMetrics()
+	if cfg.StorePath != "" {
+		if err := f.seedFile(g, cfg.StorePath, true); err != nil {
+			if !cfg.RecoverCorruptStore {
+				return nil, err
+			}
+			f.log.Error("farm: rule store unreadable; starting empty",
+				"path", cfg.StorePath, "err", err.Error())
+		}
+	}
+	return f, nil
+}
+
+// SeedFile merges a snapshot file (versioned farm store or legacy
+// rules array) into the cache — the ominiserve -rules boot path. The
+// file must exist.
+func (f *Farm) SeedFile(path string) error {
+	return f.seedFile(govern.NewGuard(context.Background(), govern.Unlimited()), path, false)
+}
+
+// seedFile loads path and inserts its rules. With allowMissing, a
+// nonexistent file seeds nothing.
+func (f *Farm) seedFile(g *govern.Guard, path string, allowMissing bool) error {
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		if allowMissing && errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	n := 0
+	for _, r := range snap.Rules {
+		if err := g.Poll(); err != nil {
+			return err
+		}
+		f.insert(r.Rule, r.Signature, r.Hits)
+		n++
+	}
+	f.log.Info("farm: rule store loaded", "path", path, "rules", n)
+	return nil
+}
+
+// Extract serves one page: rule fast path on a cache hit, singleflight
+// learn-on-miss otherwise. A site-less request runs plain discovery
+// and is never cached. The returned Outcome reports which path served.
+func (f *Farm) Extract(ctx context.Context, site, html string) (*core.Result, Outcome, error) {
+	if site == "" {
+		res, err := f.discover(ctx, html)
+		return res, Outcome{}, err
+	}
+	if e := f.shardFor(site).get(site); e != nil {
+		return f.serveFast(ctx, site, html, e)
+	}
+	f.stats.Add(SeriesMisses, 1)
+	return f.learnOrJoin(ctx, site, html)
+}
+
+// serveFast replays the cached rule. A mismatch (the site changed)
+// evicts the rule and falls through to rediscovery; any other failure
+// (resource limits, cancellation) propagates untouched.
+func (f *Farm) serveFast(ctx context.Context, site, html string, e *entry) (*core.Result, Outcome, error) {
+	start := time.Now()
+	res, err := f.ex.ExtractWithRuleContext(ctx, html, e.rule)
+	if err == nil {
+		f.stats.Add(SeriesHits, 1)
+		f.stats.Observe(seriesFastSeconds, time.Since(start).Seconds())
+		f.maybeSample(site, html, e, res)
+		return res, Outcome{FromRule: true}, nil
+	}
+	if !errors.Is(err, core.ErrRuleMismatch) {
+		return nil, Outcome{}, err
+	}
+	f.stats.Add(SeriesStale, 1)
+	f.shardFor(site).remove(site)
+	res, out, err := f.learnVersioned(ctx, site, html, e.rule.Version)
+	if err == nil {
+		f.stats.Add(SeriesRelearn, 1)
+		out.Relearned = true
+	}
+	return res, out, err
+}
+
+// learnOrJoin is the singleflight learn-on-miss: the first request for
+// a site runs discovery; concurrent requests wait for its rule and
+// replay it on their own page.
+func (f *Farm) learnOrJoin(ctx context.Context, site, html string) (*core.Result, Outcome, error) {
+	f.flightMu.Lock()
+	if fl := f.flights[site]; fl != nil {
+		f.flightMu.Unlock()
+		return f.join(ctx, fl, site, html)
+	}
+	fl := &flight{done: make(chan struct{})}
+	f.flights[site] = fl
+	f.flightMu.Unlock()
+
+	res, out, err := f.learnVersioned(ctx, site, html, 0)
+	if err == nil {
+		fl.rule = res.Rule(site)
+		fl.rule.Version = 1
+	}
+	fl.err = err
+	f.flightMu.Lock()
+	delete(f.flights, site)
+	f.flightMu.Unlock()
+	close(fl.done)
+	return res, out, err
+}
+
+// join waits for an in-flight discovery of the same site, then replays
+// the learned rule on this request's own page. If the leader failed or
+// its rule does not fit this page, the request falls back to its own
+// discovery (the herd has already dispersed).
+func (f *Farm) join(ctx context.Context, fl *flight, site, html string) (*core.Result, Outcome, error) {
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		return nil, Outcome{}, ctx.Err()
+	}
+	f.stats.Add(SeriesCoalesced, 1)
+	if fl.err == nil {
+		start := time.Now()
+		if res, err := f.ex.ExtractWithRuleContext(ctx, html, fl.rule); err == nil {
+			f.stats.Add(SeriesHits, 1)
+			f.stats.Observe(seriesFastSeconds, time.Since(start).Seconds())
+			return res, Outcome{FromRule: true, Coalesced: true}, nil
+		}
+	}
+	res, out, err := f.learnVersioned(ctx, site, html, 0)
+	out.Coalesced = true
+	return res, out, err
+}
+
+// learnVersioned runs full discovery, stores the rule at
+// prevVersion+1, and records slow-path latency.
+func (f *Farm) learnVersioned(ctx context.Context, site, html string, prevVersion int) (*core.Result, Outcome, error) {
+	res, err := f.discover(ctx, html)
+	if err != nil {
+		return nil, Outcome{}, err
+	}
+	rule := res.Rule(site)
+	rule.Version = prevVersion + 1
+	var sig tagtree.Signature
+	if res.Tree != nil {
+		sig = tagtree.PathSignature(res.Tree)
+	}
+	f.insert(rule, sig, 0)
+	f.stats.Add(SeriesLearns, 1)
+	f.dirty.Store(true)
+	return res, Outcome{Learned: true, Relearned: prevVersion > 0}, nil
+}
+
+// discover runs full Phase-2 discovery and records slow-path latency.
+func (f *Farm) discover(ctx context.Context, html string) (*core.Result, error) {
+	start := time.Now()
+	res, err := f.ex.ExtractContext(ctx, html)
+	if err != nil {
+		return nil, err
+	}
+	f.stats.Observe(seriesSlowSeconds, time.Since(start).Seconds())
+	return res, nil
+}
+
+// insert stores a rule (with its training signature) in the cache.
+func (f *Farm) insert(rule rules.Rule, sig tagtree.Signature, hits int64) {
+	if rule.Site == "" || !rule.Valid() {
+		return
+	}
+	if rule.Version <= 0 {
+		rule.Version = 1
+	}
+	e := &entry{rule: rule, sig: sig}
+	e.hits.count = hits
+	f.shardFor(rule.Site).put(rule.Site, e)
+}
+
+// Put stores an externally learned rule (e.g. from wrapper learning)
+// with its training signature, marking the store dirty.
+func (f *Farm) Put(rule rules.Rule, sig tagtree.Signature) {
+	if rule.Version <= 0 {
+		if cur, ok := f.Get(rule.Site); ok {
+			rule.Version = cur.Version + 1
+		} else {
+			rule.Version = 1
+		}
+	}
+	f.insert(rule, sig, 0)
+	f.dirty.Store(true)
+}
+
+// Get returns the cached rule for a site without bumping recency
+// (an inspection read, not a serve).
+func (f *Farm) Get(site string) (rules.Rule, bool) {
+	if site == "" {
+		return rules.Rule{}, false
+	}
+	sh := f.shardFor(site)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.index[site]
+	if !ok {
+		return rules.Rule{}, false
+	}
+	return el.Value.(*lruItem).entry.rule, true
+}
+
+// Invalidate drops a site's cached rule, reporting whether one was
+// cached.
+func (f *Farm) Invalidate(site string) bool {
+	removed := f.shardFor(site).remove(site)
+	if removed {
+		f.dirty.Store(true)
+	}
+	return removed
+}
+
+// Len returns the number of cached rules.
+func (f *Farm) Len() int {
+	g := govern.NewGuard(context.Background(), govern.Unlimited())
+	n := 0
+	for _, sh := range f.shards {
+		if err := g.Poll(); err != nil {
+			break
+		}
+		n += sh.len()
+	}
+	return n
+}
+
+// StoreBytes returns the encoded size of the last persisted snapshot
+// (0 before the first save or without a store).
+func (f *Farm) StoreBytes() int64 { return f.storeBytes.Load() }
+
+// Rules snapshots every cached rule (with signature and hit count),
+// sorted by site.
+func (f *Farm) Rules() []StoredRule {
+	g := govern.NewGuard(context.Background(), govern.Unlimited())
+	out, _ := f.snapshotRules(g)
+	return out
+}
+
+// snapshotRules collects and sorts the cache contents under the guard.
+func (f *Farm) snapshotRules(g *govern.Guard) ([]StoredRule, error) {
+	var out []StoredRule
+	var err error
+	for _, sh := range f.shards {
+		if out, err = sh.snapshot(g, out); err != nil {
+			return out, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out, nil
+}
+
+// maybeSample enqueues a fast-path extraction for background drift
+// revalidation: every SampleEvery-th hit of a site, plus any hit after
+// a periodic sweep flagged the entry. Sampling never blocks serving;
+// a full queue drops the sample (counted).
+func (f *Farm) maybeSample(site, html string, e *entry, res *core.Result) {
+	if len(e.sig) == 0 || res.Tree == nil {
+		return
+	}
+	n, forced := e.hits.next()
+	if !forced && (f.cfg.SampleEvery <= 0 || n%int64(f.cfg.SampleEvery) != 0) {
+		return
+	}
+	s := sample{site: site, html: html, root: res.Tree, sig: e.sig, version: e.rule.Version}
+	select {
+	case f.samples <- s:
+	default:
+		f.stats.Add(SeriesSampleDropped, 1)
+		if forced {
+			e.hits.flag() // keep the sweep's claim for the next hit
+		}
+	}
+}
+
+// Revalidate synchronously processes every pending drift sample and
+// returns how many it handled. Run calls it continuously; tests call
+// it directly for deterministic drift handling.
+func (f *Farm) Revalidate(ctx context.Context) int {
+	g := govern.NewGuard(ctx, govern.Unlimited())
+	n := 0
+	for {
+		if err := g.Poll(); err != nil {
+			return n
+		}
+		select {
+		case s := <-f.samples:
+			f.revalidateOne(ctx, s)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// revalidateOne drift-checks one sampled page against its rule's
+// training signature; past the threshold the rule is evicted and
+// relearned from the sampled page, version bumped.
+func (f *Farm) revalidateOne(ctx context.Context, s sample) {
+	f.stats.Add(SeriesDriftChecks, 1)
+	drift := wrapgen.DriftScore(s.sig, s.root)
+	if drift <= f.cfg.DriftThreshold {
+		return
+	}
+	f.stats.Add(SeriesDriftDetected, 1)
+	f.log.Warn("farm: layout drift detected; relearning",
+		"site", s.site, "drift", drift, "ruleVersion", s.version)
+	f.shardFor(s.site).remove(s.site)
+	if _, _, err := f.learnVersioned(ctx, s.site, s.html, s.version); err != nil {
+		f.stats.Add(SeriesRelearnFailures, 1)
+		f.log.Error("farm: relearn after drift failed", "site", s.site, "err", err.Error())
+		return
+	}
+	f.stats.Add(SeriesRelearn, 1)
+}
+
+// Run drives the farm's background work until ctx is cancelled:
+// draining the drift-sample queue as samples arrive, and on every
+// RelearnInterval tick flagging all cached rules for revalidation on
+// their next hit and flushing the store if dirty. The final save runs
+// on cancellation.
+func (f *Farm) Run(ctx context.Context) error {
+	interval := f.cfg.RelearnInterval
+	if interval <= 0 {
+		interval = time.Duration(1<<62 - 1) // sweep disabled; still drain samples
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	g := govern.NewGuard(ctx, govern.Unlimited())
+	for {
+		if err := g.Poll(); err != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			f.saveIfDirty()
+			return ctx.Err()
+		case s := <-f.samples:
+			f.revalidateOne(ctx, s)
+		case <-ticker.C:
+			_ = f.sweep(g)
+			f.saveIfDirty()
+		}
+	}
+	f.saveIfDirty()
+	return ctx.Err()
+}
+
+// sweep flags every cached rule for drift revalidation on its next
+// hit — the RelearnInterval contract: under traffic, every rule is
+// rechecked at least once per interval.
+func (f *Farm) sweep(g *govern.Guard) error {
+	for _, sh := range f.shards {
+		if err := sh.flagAll(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveIfDirty persists the store when something changed since the
+// last save.
+func (f *Farm) saveIfDirty() {
+	if f.cfg.StorePath == "" || !f.dirty.Swap(false) {
+		return
+	}
+	if err := f.Save(); err != nil {
+		f.dirty.Store(true) // retry on the next sweep
+		f.stats.Add(SeriesStoreErrors, 1)
+		f.log.Error("farm: rule store save failed", "path", f.cfg.StorePath, "err", err.Error())
+	}
+}
+
+// Save persists the cache as a versioned snapshot at Config.StorePath
+// (no-op without one). Saves are serialized; concurrent mutation
+// between snapshot and write is safe because writes are atomic.
+func (f *Farm) Save() error {
+	if f.cfg.StorePath == "" {
+		return nil
+	}
+	f.saveMu.Lock()
+	defer f.saveMu.Unlock()
+	list, err := f.snapshotRules(govern.NewGuard(context.Background(), govern.Unlimited()))
+	if err != nil {
+		return err
+	}
+	n, err := SaveSnapshot(f.cfg.StorePath, Snapshot{Version: SnapshotVersion, Rules: list})
+	if err != nil {
+		return err
+	}
+	f.storeBytes.Store(n)
+	f.stats.Add(SeriesStoreSaves, 1)
+	f.log.Info("farm: rule store saved", "path", f.cfg.StorePath, "rules", len(list), "bytes", n)
+	return nil
+}
+
+// Close final-saves the store (when dirty). The farm has no other
+// resources to release; Run's goroutine stops with its context.
+func (f *Farm) Close() error {
+	if f.cfg.StorePath == "" || !f.dirty.Swap(false) {
+		return nil
+	}
+	return f.Save()
+}

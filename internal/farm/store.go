@@ -1,0 +1,164 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"omini/internal/govern"
+	"omini/internal/rules"
+	"omini/internal/tagtree"
+)
+
+// The persisted rule store: a versioned JSON snapshot of every learned
+// rule plus its training-page signature, written atomically (temp file
+// + rename, like the fetch cache) so a crash mid-save can never leave
+// a torn store. The rules array inside the envelope is a superset of
+// the rules.Store format — rules.Load reads a farm snapshot directly,
+// which is what lets the ominiserve -rules flag accept either file.
+
+// SnapshotVersion is the store format version this package writes.
+const SnapshotVersion = 1
+
+// ErrSnapshotVersion is returned when a snapshot was written by a
+// newer format version than this binary understands.
+var ErrSnapshotVersion = errors.New("farm: snapshot format version too new")
+
+// StoredRule is one persisted rule: the replayable extraction rule,
+// the training-page signature for drift revalidation, and the hit
+// count at save time (informational).
+type StoredRule struct {
+	rules.Rule
+	// Signature is the training page's tag-path structure; an empty
+	// signature disables drift checks for the rule until it is
+	// relearned.
+	Signature tagtree.Signature `json:"signature,omitempty"`
+	// Hits is the rule's fast-path hit count when the snapshot was
+	// taken.
+	Hits int64 `json:"hits,omitempty"`
+}
+
+// Snapshot is the on-disk envelope.
+type Snapshot struct {
+	Version int          `json:"version"`
+	Rules   []StoredRule `json:"rules"`
+}
+
+// DecodeSnapshot parses a snapshot from its JSON encoding. Both the
+// versioned envelope and a bare rules array (the legacy rules.Store
+// format) are accepted; the result is canonical — invalid rules
+// dropped, one rule per site (last wins), sorted by site — so
+// decode∘encode is a fixed point.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var snap Snapshot
+	if isJSONArray(data) {
+		if err := json.Unmarshal(data, &snap.Rules); err != nil {
+			return Snapshot{}, fmt.Errorf("farm: decode rules array: %w", err)
+		}
+		snap.Version = SnapshotVersion
+	} else {
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return Snapshot{}, fmt.Errorf("farm: decode snapshot: %w", err)
+		}
+		if snap.Version > SnapshotVersion {
+			return Snapshot{}, fmt.Errorf("%w: %d > %d", ErrSnapshotVersion, snap.Version, SnapshotVersion)
+		}
+		snap.Version = SnapshotVersion
+	}
+	snap.Rules = canonicalRules(nil, snap.Rules)
+	return snap, nil
+}
+
+// EncodeSnapshot serializes a snapshot in canonical form: current
+// format version, invalid rules dropped, one rule per site, sorted.
+func EncodeSnapshot(snap Snapshot) ([]byte, error) {
+	snap.Version = SnapshotVersion
+	snap.Rules = canonicalRules(nil, snap.Rules)
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("farm: encode snapshot: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// canonicalRules filters invalid rules, deduplicates by site (last
+// wins) and sorts by site, charging the guard per rule.
+func canonicalRules(g *govern.Guard, in []StoredRule) []StoredRule {
+	bySite := make(map[string]StoredRule, len(in))
+	order := make([]string, 0, len(in))
+	for _, r := range in {
+		if g.Poll() != nil {
+			break
+		}
+		if r.Site == "" || !r.Valid() {
+			continue
+		}
+		if _, seen := bySite[r.Site]; !seen {
+			order = append(order, r.Site)
+		}
+		bySite[r.Site] = r
+	}
+	sort.Strings(order)
+	out := make([]StoredRule, 0, len(order))
+	for _, site := range order {
+		if g.Poll() != nil {
+			break
+		}
+		out = append(out, bySite[site])
+	}
+	return out
+}
+
+// isJSONArray reports whether the document's first token opens an
+// array (the legacy rules.Store format) rather than an envelope.
+func isJSONArray(data []byte) bool {
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b == '['
+	}
+	return false
+}
+
+// LoadSnapshot reads and decodes a snapshot file.
+func LoadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("farm: load snapshot: %w", err)
+	}
+	return DecodeSnapshot(data)
+}
+
+// SaveSnapshot writes the snapshot atomically: encode, write to a
+// temp file in the destination directory, rename into place. Returns
+// the encoded size.
+func SaveSnapshot(path string, snap Snapshot) (int64, error) {
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		return 0, err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".rulestore-*")
+	if err != nil {
+		return 0, fmt.Errorf("farm: snapshot temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("farm: snapshot write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("farm: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("farm: snapshot rename: %w", err)
+	}
+	return int64(len(data)), nil
+}

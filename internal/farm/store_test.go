@@ -1,0 +1,181 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"omini/internal/core"
+	"omini/internal/rules"
+	"omini/internal/tagtree"
+)
+
+func storedRule(site string) StoredRule {
+	return StoredRule{
+		Rule: rules.Rule{
+			Site:        site,
+			SubtreePath: "html[1].body[1].ul[1]",
+			Separator:   "li",
+			LearnedAt:   time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
+			Version:     3,
+		},
+		Signature: tagtree.Signature{"html": 1, "html.body": 1, "html.body.ul": 1},
+		Hits:      42,
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := Snapshot{Rules: []StoredRule{storedRule("b.example"), storedRule("a.example")}}
+	data, err := EncodeSnapshot(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Version != SnapshotVersion {
+		t.Fatalf("Version = %d, want %d", out.Version, SnapshotVersion)
+	}
+	if len(out.Rules) != 2 || out.Rules[0].Site != "a.example" || out.Rules[1].Site != "b.example" {
+		t.Fatalf("rules not canonical by site: %+v", out.Rules)
+	}
+	got := out.Rules[1]
+	want := storedRule("b.example")
+	if got.SubtreePath != want.SubtreePath || got.Separator != want.Separator ||
+		got.Version != want.Version || got.Hits != want.Hits ||
+		!got.LearnedAt.Equal(want.LearnedAt) {
+		t.Fatalf("rule fields lost in round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.Signature.Similarity(want.Signature) != 1 {
+		t.Fatalf("signature lost in round trip: %v", got.Signature)
+	}
+}
+
+func TestDecodeSnapshotCanonicalizes(t *testing.T) {
+	in := Snapshot{Rules: []StoredRule{
+		storedRule("dup.example"),
+		{Rule: rules.Rule{Site: "invalid.example"}},          // no path/separator
+		{Rule: rules.Rule{SubtreePath: "x", Separator: "y"}}, // no site
+		func() StoredRule { r := storedRule("dup.example"); r.Version = 9; return r }(),
+	}}
+	data, err := EncodeSnapshot(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(out.Rules) != 1 {
+		t.Fatalf("canonical rules = %+v, want exactly one", out.Rules)
+	}
+	if out.Rules[0].Version != 9 {
+		t.Fatalf("dedupe kept version %d, want last-wins 9", out.Rules[0].Version)
+	}
+}
+
+func TestDecodeSnapshotLegacyArray(t *testing.T) {
+	legacy := []byte(`[{"site":"old.example","subtreePath":"html[1].body[1]","separator":"tr"}]`)
+	snap, err := DecodeSnapshot(legacy)
+	if err != nil {
+		t.Fatalf("Decode legacy: %v", err)
+	}
+	if len(snap.Rules) != 1 || snap.Rules[0].Site != "old.example" {
+		t.Fatalf("legacy rules = %+v", snap.Rules)
+	}
+	if snap.Version != SnapshotVersion {
+		t.Fatalf("legacy Version = %d, want %d", snap.Version, SnapshotVersion)
+	}
+}
+
+func TestDecodeSnapshotRejectsNewerVersion(t *testing.T) {
+	_, err := DecodeSnapshot([]byte(`{"version":99,"rules":[]}`))
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("err = %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestDecodeSnapshotRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "{", "[{]", `{"version":"x"}`, "null["} {
+		if _, err := DecodeSnapshot([]byte(bad)); err == nil {
+			t.Fatalf("Decode(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestRulesLoadReadsFarmSnapshot(t *testing.T) {
+	// The -rules flag contract: a farm snapshot is a valid rules.Store
+	// file (the envelope carries a superset of the legacy array).
+	data, err := EncodeSnapshot(Snapshot{Rules: []StoredRule{storedRule("compat.example")}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	st := rules.NewStore()
+	if _, err := st.ReadFrom(bytes.NewReader(data)); err != nil {
+		t.Fatalf("rules.ReadFrom(farm snapshot): %v", err)
+	}
+	r, err := st.Get("compat.example")
+	if err != nil || r.Separator != "li" || r.Version != 3 {
+		t.Fatalf("rule through rules.Store = %+v err=%v", r, err)
+	}
+}
+
+// FuzzSnapshotCodec: DecodeSnapshot must never panic, and every
+// accepted input must re-encode to a canonical fixed point
+// (encode∘decode∘encode = encode∘decode).
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add([]byte(`{"version":1,"rules":[]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"site":"a","subtreePath":"html[1]","separator":"li"}]`))
+	f.Add([]byte(`{"version":1,"rules":[{"site":"s.example","subtreePath":"html[1].body[1]","separator":"tr","version":2,"hits":7,"signature":{"html":1}}]}`))
+	f.Add([]byte("{"))
+	f.Add([]byte("null"))
+	// Seed with a real learned rule: discovery over a deterministic
+	// list page, exactly what a production store holds.
+	ex := core.New(core.Options{})
+	var page bytes.Buffer
+	page.WriteString("<html><body><ul>")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&page, `<li><a href="/%d">Seed %d</a> text</li>`, i, i)
+	}
+	page.WriteString("</ul></body></html>")
+	if res, err := ex.ExtractContext(context.Background(), page.String()); err == nil {
+		rule := res.Rule("seed.example")
+		rule.Version = 1
+		seed, err := EncodeSnapshot(Snapshot{Rules: []StoredRule{{
+			Rule:      rule,
+			Signature: tagtree.PathSignature(res.Tree),
+			Hits:      1,
+		}}})
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		once, err := EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to encode: %v", err)
+		}
+		again, err := DecodeSnapshot(once)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		twice, err := EncodeSnapshot(again)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(once, twice) {
+			t.Fatalf("codec is not a fixed point:\nonce:  %s\ntwice: %s", once, twice)
+		}
+	})
+}

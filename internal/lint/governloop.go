@@ -20,6 +20,7 @@ var governedPackages = map[string]bool{
 	"combine":   true,
 	"extract":   true,
 	"cluster":   true,
+	"farm":      true,
 }
 
 // guardChargeMethods are the govern.Guard methods that charge a budget

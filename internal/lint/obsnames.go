@@ -33,6 +33,7 @@ var preregPackages = map[string]bool{
 	"serve":   true,
 	"core":    true,
 	"cluster": true,
+	"farm":    true,
 }
 
 // phaseSeriesName mirrors obs.PhaseSeries for pre-registration

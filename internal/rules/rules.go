@@ -27,6 +27,11 @@ type Rule struct {
 	Separator string `json:"separator"`
 	// LearnedAt records when the rule was discovered (RFC 3339 in JSON).
 	LearnedAt time.Time `json:"learnedAt"`
+	// Version counts how many times the site's rule has been learned:
+	// 1 on first discovery, incremented on every drift- or
+	// mismatch-triggered relearn. Zero means the rule predates
+	// versioning (treated as version 1).
+	Version int `json:"version,omitempty"`
 }
 
 // Valid reports whether the rule carries the fields replay requires.
@@ -117,14 +122,26 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// ReadFrom loads rules from a JSON array, merging into the store.
+// ReadFrom loads rules from a JSON array — or from a versioned wrapper-farm
+// snapshot (`{"version":1,"rules":[...]}`, see internal/farm), whose extra
+// per-rule fields are ignored — merging into the store. The format is
+// sniffed from the first JSON token, so the ominiserve -rules flag accepts
+// both a Store.Save file and a farm -rule-store file.
 func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return int64(len(data)), fmt.Errorf("rules: read: %w", err)
 	}
 	var list []Rule
-	if err := json.Unmarshal(data, &list); err != nil {
+	if isJSONObject(data) {
+		var envelope struct {
+			Rules []Rule `json:"rules"`
+		}
+		if err := json.Unmarshal(data, &envelope); err != nil {
+			return int64(len(data)), fmt.Errorf("rules: unmarshal snapshot: %w", err)
+		}
+		list = envelope.Rules
+	} else if err := json.Unmarshal(data, &list); err != nil {
 		return int64(len(data)), fmt.Errorf("rules: unmarshal: %w", err)
 	}
 	s.mu.Lock()
@@ -135,6 +152,19 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 		}
 	}
 	return int64(len(data)), nil
+}
+
+// isJSONObject reports whether the document's first token opens an
+// object (a versioned snapshot envelope) rather than an array.
+func isJSONObject(data []byte) bool {
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b == '{'
+	}
+	return false
 }
 
 // Save writes the store to a file.

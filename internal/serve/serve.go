@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"omini/internal/core"
+	"omini/internal/farm"
 	"omini/internal/govern"
 	"omini/internal/nav"
 	"omini/internal/obs"
@@ -72,8 +73,18 @@ type Config struct {
 	// answers 503 until the snapshot is in, so a load balancer or the
 	// cluster health checker never routes shard traffic to a node whose
 	// caches would miss. Empty means no snapshot and immediate
-	// readiness.
+	// readiness. Farm snapshots (the -rule-store format) load here too.
 	RulesFile string
+	// RuleStorePath persists the wrapper farm's learned rules as a
+	// versioned snapshot: loaded on boot, rewritten by the farm's
+	// background sweeps and on Close, so learned rules survive
+	// restarts. Empty disables persistence.
+	RuleStorePath string
+	// RelearnInterval is the farm's background revalidation period:
+	// each sweep flags every cached rule for a drift check on its next
+	// hit and flushes the rule store if dirty. 0 selects the farm
+	// default (1m); negative disables the sweep.
+	RelearnInterval time.Duration
 }
 
 const (
@@ -108,6 +119,7 @@ const (
 	seriesReqExtract  = `omini_request_seconds{path="/extract"}`
 	seriesReqRecords  = `omini_request_seconds{path="/records"}`
 	seriesReqRules    = `omini_request_seconds{path="/rules"}`
+	seriesReqRulesz   = `omini_request_seconds{path="/rulesz"}`
 	seriesReqHealthz  = `omini_request_seconds{path="/healthz"}`
 	seriesReqReadyz   = `omini_request_seconds{path="/readyz"}`
 	seriesReqStatsz   = `omini_request_seconds{path="/statsz"}`
@@ -125,12 +137,15 @@ type Server struct {
 	stats     *resilience.Stats
 	log       *obs.Logger
 
+	// farm is the rule-cache-first serving layer: sharded rule LRU,
+	// singleflight learn-on-miss, drift revalidation, persistence.
+	farm *farm.Farm
+
 	// ready flips once the rule store is loaded (immediately when no
 	// RulesFile is configured); /readyz reports it.
 	ready atomic.Bool
 
 	mu       sync.RWMutex
-	rules    *rules.Store
 	wrappers map[string]*wrapgen.Wrapper
 }
 
@@ -160,9 +175,25 @@ func New(cfg Config) *Server {
 		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
 		stats:     cfg.Stats,
 		log:       cfg.Logger,
-		rules:     rules.NewStore(),
 		wrappers:  make(map[string]*wrapgen.Wrapper),
 	}
+	// The farm shares the server's extractor, registry and logger, so
+	// farm.* series land on this server's /metricsz next to serve.*.
+	// A corrupt rule store costs a cold cache, never the process
+	// (RecoverCorruptStore), so New cannot fail here.
+	fm, err := farm.New(farm.Config{
+		Extractor:           s.extractor,
+		StorePath:           cfg.RuleStorePath,
+		RelearnInterval:     cfg.RelearnInterval,
+		RecoverCorruptStore: true,
+		Stats:               cfg.Stats,
+		Logger:              cfg.Logger,
+	})
+	if err != nil {
+		s.log.Error("farm init failed; serving without a rule store", "err", err.Error())
+		fm, _ = farm.New(farm.Config{Extractor: s.extractor, Stats: cfg.Stats, Logger: cfg.Logger})
+	}
+	s.farm = fm
 	s.registerMetrics()
 	s.loadRules()
 
@@ -180,6 +211,7 @@ func New(cfg Config) *Server {
 		_, _ = io.WriteString(w, "ok\n")
 	})
 	root.HandleFunc("GET /readyz", s.handleReadyz)
+	root.HandleFunc("GET /rulesz", s.handleRulesz)
 	root.HandleFunc("GET /statsz", s.handleStatsz)
 	root.HandleFunc("GET /metricsz", s.handleMetricsz)
 	root.HandleFunc("/debug/pprof/", pprof.Index)
@@ -217,8 +249,9 @@ func (s *Server) registerMetrics() {
 	}
 	for _, name := range []string{
 		seriesReqExtract, seriesReqRecords, seriesReqRules,
-		seriesReqHealthz, seriesReqReadyz, seriesReqStatsz,
-		seriesReqMetricsz, seriesReqPprof, seriesReqOther,
+		seriesReqRulesz, seriesReqHealthz, seriesReqReadyz,
+		seriesReqStatsz, seriesReqMetricsz, seriesReqPprof,
+		seriesReqOther,
 	} {
 		s.stats.Histogram(name)
 	}
@@ -229,9 +262,7 @@ func (s *Server) registerMetrics() {
 		return float64(s.limiter.InFlight())
 	})
 	s.stats.RegisterGaugeFunc(gaugeCachedRules, func() float64 {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return float64(s.rules.Len())
+		return float64(s.farm.Len())
 	})
 	s.stats.RegisterGaugeFunc(gaugeCachedWrappers, func() float64 {
 		s.mu.RLock()
@@ -245,7 +276,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// loadRules seeds the rule store from Config.RulesFile and flips the
+// loadRules seeds the farm from Config.RulesFile and flips the
 // readiness gate. Liveness (/healthz) and readiness are deliberately
 // split: a process that failed its snapshot load is alive (don't
 // restart it into a crash loop) but not ready (don't route to it).
@@ -254,18 +285,27 @@ func (s *Server) loadRules() {
 		s.ready.Store(true)
 		return
 	}
-	store, err := rules.Load(s.cfg.RulesFile)
-	if err != nil {
+	if err := s.farm.SeedFile(s.cfg.RulesFile); err != nil {
 		s.log.Error("rules snapshot load failed; staying not-ready",
 			"file", s.cfg.RulesFile, "err", err.Error())
 		return
 	}
-	s.mu.Lock()
-	s.rules = store
-	s.mu.Unlock()
-	s.log.Info("rules snapshot loaded", "file", s.cfg.RulesFile, "rules", store.Len())
+	s.log.Info("rules snapshot loaded", "file", s.cfg.RulesFile, "rules", s.farm.Len())
 	s.ready.Store(true)
 }
+
+// Farm exposes the server's wrapper farm (rule inspection, manual
+// saves, test-driven revalidation).
+func (s *Server) Farm() *farm.Farm { return s.farm }
+
+// Run drives the farm's background work — drift-sample revalidation
+// and periodic store flushes — until ctx is cancelled. cmd/ominiserve
+// runs it alongside the HTTP listener; embedded servers may skip it
+// and call Farm().Revalidate themselves.
+func (s *Server) Run(ctx context.Context) error { return s.farm.Run(ctx) }
+
+// Close final-saves the farm's rule store when it has unsaved changes.
+func (s *Server) Close() error { return s.farm.Close() }
 
 // Ready reports whether the server would pass its own /readyz probe.
 func (s *Server) Ready() bool { return s.ready.Load() }
@@ -349,6 +389,8 @@ func requestSeries(path string) string {
 		return seriesReqRecords
 	case path == "/rules":
 		return seriesReqRules
+	case path == "/rulesz":
+		return seriesReqRulesz
 	case path == "/healthz":
 		return seriesReqHealthz
 	case path == "/readyz":
@@ -367,8 +409,9 @@ func requestSeries(path string) string {
 // operational marks endpoints whose access-log lines go to Debug rather
 // than Info, so scrapers and probes don't flood the log.
 func operational(path string) bool {
-	return path == "/healthz" || path == "/readyz" || path == "/statsz" ||
-		path == "/metricsz" || strings.HasPrefix(path, "/debug/pprof")
+	return path == "/healthz" || path == "/readyz" || path == "/rulesz" ||
+		path == "/statsz" || path == "/metricsz" ||
+		strings.HasPrefix(path, "/debug/pprof")
 }
 
 // withObs threads the metrics registry into the request context (so the
@@ -493,8 +536,9 @@ type statszResponse struct {
 // the /metricsz registry: both read the identical obs.Registry, so the two
 // endpoints can never disagree.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	nrules := s.farm.Len()
 	s.mu.RLock()
-	nrules, nwrap := s.rules.Len(), len(s.wrappers)
+	nwrap := len(s.wrappers)
 	s.mu.RUnlock()
 	writeJSON(w, statszResponse{
 		Counters:       s.stats.Snapshot(),
@@ -627,45 +671,82 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// The legacy array format, so dumps keep working as -rules seeds.
+	st := rules.NewStore()
+	for _, r := range s.farm.Rules() {
+		_ = st.Put(r.Rule)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if _, err := s.rules.WriteTo(w); err != nil {
+	if _, err := st.WriteTo(w); err != nil {
 		httpError(w, err)
 	}
 }
 
-// extract runs the cached-rule fast path when possible, falling back to
-// (and caching) full discovery. The context carries the server's registry
+// ruleszRule is one row of the /rulesz farm inspection view.
+type ruleszRule struct {
+	Site        string    `json:"site"`
+	SubtreePath string    `json:"subtreePath"`
+	Separator   string    `json:"separator"`
+	Version     int       `json:"version"`
+	LearnedAt   time.Time `json:"learnedAt"`
+	Hits        int64     `json:"hits"`
+	// SignaturePaths sizes the training signature backing drift checks;
+	// 0 means the rule cannot be drift-checked until relearned.
+	SignaturePaths int `json:"signaturePaths"`
+}
+
+// ruleszResponse is the /rulesz payload: farm totals plus one row per
+// cached rule.
+type ruleszResponse struct {
+	Rules      int          `json:"rules"`
+	StoreBytes int64        `json:"storeBytes"`
+	Sites      []ruleszRule `json:"sites"`
+}
+
+// handleRulesz serves the farm's per-site state: which rules are
+// cached, their versions, hit counts and drift-check readiness.
+func (s *Server) handleRulesz(w http.ResponseWriter, _ *http.Request) {
+	stored := s.farm.Rules()
+	resp := ruleszResponse{
+		Rules:      len(stored),
+		StoreBytes: s.farm.StoreBytes(),
+		Sites:      make([]ruleszRule, 0, len(stored)),
+	}
+	for _, r := range stored {
+		resp.Sites = append(resp.Sites, ruleszRule{
+			Site:           r.Site,
+			SubtreePath:    r.SubtreePath,
+			Separator:      r.Separator,
+			Version:        r.Version,
+			LearnedAt:      r.LearnedAt,
+			Hits:           r.Hits,
+			SignaturePaths: len(r.Signature),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// extract serves through the wrapper farm: cached-rule fast path on a
+// hit, singleflight learn-on-miss otherwise, transparent relearn when
+// a rule stops matching. The context carries the server's registry
 // (phase spans) and, on traced requests, the trace recorder.
 func (s *Server) extract(ctx context.Context, site, html string) (*core.Result, bool, error) {
-	if site != "" {
-		s.mu.RLock()
-		rule, err := s.rules.Get(site)
-		s.mu.RUnlock()
-		if err == nil {
-			if res, err := s.extractor.ExtractWithRuleContext(ctx, html, rule); err == nil {
-				s.stats.Add(seriesRuleHits, 1)
-				return res, true, nil
-			}
-			// Stale rule: drop it and rediscover.
-			s.stats.Add(seriesRuleStale, 1)
-			s.mu.Lock()
-			s.rules.Delete(site)
-			delete(s.wrappers, site)
-			s.mu.Unlock()
-		}
-	}
-	res, err := s.extractor.ExtractContext(ctx, html)
+	res, out, err := s.farm.Extract(ctx, site, html)
 	if err != nil {
 		return nil, false, err
 	}
-	if site != "" {
+	if out.FromRule {
+		s.stats.Add(seriesRuleHits, 1)
+	}
+	if out.Relearned {
+		// The site changed under its rule; the wrapper learned from the
+		// old layout is stale with it.
+		s.stats.Add(seriesRuleStale, 1)
 		s.mu.Lock()
-		_ = s.rules.Put(res.Rule(site))
+		delete(s.wrappers, site)
 		s.mu.Unlock()
 	}
-	return res, false, nil
+	return res, out.FromRule, nil
 }
 
 // wrapperFor returns the site's cached wrapper, learning one if needed.
@@ -686,8 +767,10 @@ func (s *Server) relearnWrapper(site, html string) (*wrapgen.Wrapper, error) {
 	}
 	s.mu.Lock()
 	s.wrappers[site] = wrapper
-	_ = s.rules.Put(wrapper.Rule)
 	s.mu.Unlock()
+	// The wrapper's rule joins the farm (with the training signature,
+	// so drift checks cover wrapper-learned rules too).
+	s.farm.Put(wrapper.Rule, wrapper.Signature)
 	return wrapper, nil
 }
 

@@ -27,6 +27,20 @@ func (w *Wrapper) TrainSignature(html string) error {
 	return nil
 }
 
+// DriftScore returns 1 − structural similarity between a recorded
+// training-page signature and an already-built page tree: 0 means
+// structurally identical, 1 means nothing shared. An empty signature
+// reports 0 (unknown). This is the tree-level primitive behind
+// (*Wrapper).Drift; the wrapper farm's revalidation sampler calls it
+// directly with the tree the fast path already built, so a drift check
+// costs one signature walk and no reparse.
+func DriftScore(sig tagtree.Signature, root *tagtree.Node) float64 {
+	if len(sig) == 0 || root == nil {
+		return 0
+	}
+	return 1 - sig.Similarity(tagtree.PathSignature(root))
+}
+
 // Drift returns 1 − structural similarity between the page and the
 // wrapper's training page: 0 means structurally identical, 1 means nothing
 // shared. Wrappers without a recorded signature report 0 (unknown).
@@ -38,7 +52,7 @@ func (w *Wrapper) Drift(html string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return 1 - w.Signature.Similarity(tagtree.PathSignature(root)), nil
+	return DriftScore(w.Signature, root), nil
 }
 
 // Stale reports whether the page has drifted past the threshold (use

@@ -55,7 +55,17 @@ if [ "$FUZZTIME" != "0" ]; then
     echo "==> fuzz smoke (${FUZZTIME} per target)"
     go test -run '^$' -fuzz '^FuzzTokenize$' -fuzztime "$FUZZTIME" ./internal/htmlparse/
     go test -run '^$' -fuzz '^FuzzParse$' -fuzztime "$FUZZTIME" ./internal/tagtree/
+    go test -run '^$' -fuzz '^FuzzSnapshotCodec$' -fuzztime "$FUZZTIME" ./internal/farm/
 fi
+
+# Wrapper farm: the fast/slow-path parity suite is the farm's core
+# correctness claim — rule replay must be byte-identical to full
+# discovery on every golden page, through core and through the farm's
+# caching layers, under the race detector (DESIGN.md §13). The full
+# `go test -race ./...` above already runs it; this named gate keeps
+# the claim visible even if the suite is ever filtered there.
+echo "==> fast/slow-path parity under -race"
+go test -race -run 'Parity' .
 
 # Bench smoke: one iteration of every benchmark proves the harness still
 # compiles and runs; timing is scripts/bench.sh's job.
@@ -104,6 +114,78 @@ if [ "$OBS_SMOKE" != "0" ]; then
     [ -n "$heap" ] || { echo "/debug/pprof/heap returned empty body" >&2; exit 1; }
     kill "$srv_pid"
     wait "$srv_pid" 2>/dev/null || true
+    trap - EXIT
+    rm -rf "$tmpdir"
+fi
+
+# Wrapper farm warm-path smoke: a live ominiserve with -rule-store takes
+# 10 pages from each of the 15 sitegen test-set hosts (150 requests).
+# The first request per host learns; every later one must replay, so
+# the farm hit rate must reach 0.9 and the fast-path p50 must beat the
+# slow-path p50 on /metricsz. The store file must survive shutdown.
+# FARM_SMOKE=0 skips (same caveats as OBS_SMOKE).
+FARM_SMOKE="${FARM_SMOKE:-1}"
+if [ "$FARM_SMOKE" != "0" ]; then
+    echo "==> warm-farm smoke: 150 requests, hit-rate + latency gates"
+    tmpdir=$(mktemp -d)
+    trap 'kill "$srv_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+    go run ./cmd/sitegen -out "$tmpdir/corpus" -pages 10 -set test -q
+    go build -o "$tmpdir/ominiserve" ./cmd/ominiserve
+    "$tmpdir/ominiserve" -addr 127.0.0.1:0 -rule-store "$tmpdir/rules.json" \
+        2> "$tmpdir/serve.log" &
+    srv_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$tmpdir/serve.log" | head -n 1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "ominiserve did not report a listen address" >&2
+        cat "$tmpdir/serve.log" >&2
+        exit 1
+    fi
+    for sitedir in "$tmpdir/corpus"/*/; do
+        site=$(basename "$sitedir")
+        for pagefile in "$sitedir"*.html; do
+            curl -sf --data-binary @"$pagefile" \
+                "http://$addr/extract?site=$site" > /dev/null || {
+                echo "extract failed for $site ($pagefile)" >&2
+                exit 1
+            }
+        done
+    done
+    metrics=$(curl -sf "http://$addr/metricsz")
+    hits=$(echo "$metrics" | awk '$1 == "farm_hits" { print $2 }')
+    misses=$(echo "$metrics" | awk '$1 == "farm_misses" { print $2 }')
+    if [ -z "$hits" ] || [ -z "$misses" ] || [ "$misses" -eq 0 ]; then
+        echo "farm counters missing from /metricsz (hits=$hits misses=$misses)" >&2
+        exit 1
+    fi
+    # hits/(hits+misses) >= 0.9 without floating point: one miss per
+    # host to learn, nine replays. Equality passes.
+    if [ $((hits * 10)) -lt $(((hits + misses) * 9)) ]; then
+        echo "warm-farm hit rate below 0.9: hits=$hits misses=$misses" >&2
+        exit 1
+    fi
+    fast_p50=$(echo "$metrics" | awk '/^farm_path_seconds_quantile\{path="fast",quantile="0.5"\}/ { print $2 }')
+    slow_p50=$(echo "$metrics" | awk '/^farm_path_seconds_quantile\{path="slow",quantile="0.5"\}/ { print $2 }')
+    if [ -z "$fast_p50" ] || [ -z "$slow_p50" ]; then
+        echo "farm path latency quantiles missing from /metricsz" >&2
+        exit 1
+    fi
+    awk -v fast="$fast_p50" -v slow="$slow_p50" \
+        'BEGIN { exit !(fast + 0 < slow + 0) }' || {
+        echo "fast-path p50 ($fast_p50) not below slow-path p50 ($slow_p50)" >&2
+        exit 1
+    }
+    echo "    hit rate: $hits/$((hits + misses)), fast p50 ${fast_p50}s vs slow p50 ${slow_p50}s"
+    kill "$srv_pid"
+    wait "$srv_pid" 2>/dev/null || true
+    grep -q '"version": 1' "$tmpdir/rules.json" || {
+        echo "-rule-store file missing or not a v1 snapshot after shutdown" >&2
+        exit 1
+    }
     trap - EXIT
     rm -rf "$tmpdir"
 fi
