@@ -19,6 +19,8 @@
 //	GET  /rules            -> the cached extraction rules as JSON
 //	GET  /rulesz           -> wrapper-farm state: per-site rule versions,
 //	                          hit counts, drift-check readiness, store size
+//	GET  /tracez           -> tail-sampled distributed traces (errored and
+//	                          slowest pinned); ?id=<traceId> for one span tree
 //	GET  /healthz          -> liveness
 //	GET  /readyz           -> readiness (503 until the -rules snapshot loads)
 //	GET  /statsz           -> JSON counter snapshot of the metrics registry
@@ -33,6 +35,13 @@
 // extractions for up to -shutdown-grace. All logging is structured JSON on
 // stderr (one object per line), filtered by -log-level; each request emits
 // one access-log line carrying its decision summary.
+//
+// Extraction requests are distributed-traced: -trace-sample sets the
+// fraction recorded (default 1.0; ?trace=1 always traces, and a cluster
+// coordinator's X-Omini-Trace header decision always wins), and the last
+// -tracez-capacity traces — errored and slowest pinned — are inspectable
+// on GET /tracez. Trace IDs appear in access-log lines, error bodies,
+// histogram exemplars and the X-Omini-Trace response header.
 //
 // Learned rules live in the wrapper farm: the first request for a host
 // runs discovery (concurrent first requests coalesce into one), later
@@ -90,6 +99,9 @@ func main() {
 		peers      = flag.String("peers", "", "cluster members as id=url pairs, comma-separated (e.g. 'a=http://h1:8800,b=http://h2:8800')")
 		nodeID     = flag.String("node-id", "", "this node's id among -peers (empty = pure coordinator)")
 		probeIvl   = flag.Duration("probe-interval", time.Second, "cluster health-check period")
+
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of extraction requests distributed-traced (0 = none; ?trace=1 always traces)")
+		tracezCap   = flag.Int("tracez-capacity", obs.DefaultTraceCapacity, "traces kept for GET /tracez (errored and slowest pinned)")
 	)
 	flag.Parse()
 
@@ -103,6 +115,12 @@ func main() {
 	// by the server is also admitted by the extractor, and adds the
 	// per-page deadline on top of the per-request one.
 	limits := core.Limits{MaxInputBytes: int(*maxBytes), Deadline: *timeout}
+	// The flag speaks operator language (0 = off); the Config zero value
+	// means "default", so an explicit zero maps to the negative sentinel.
+	sampleRate := *traceSample
+	if sampleRate <= 0 {
+		sampleRate = -1
+	}
 	srv := serve.New(serve.Config{
 		MaxBodyBytes:    *maxBytes,
 		MaxInFlight:     *inflight,
@@ -112,6 +130,8 @@ func main() {
 		RulesFile:       *rulesFile,
 		RuleStorePath:   *ruleStore,
 		RelearnInterval: *relearnIvl,
+		TraceSampleRate: sampleRate,
+		TraceCapacity:   *tracezCap,
 	})
 	// The farm's background loop: drift-sample revalidation plus
 	// periodic rule-store flushes. It stops with the signal context;
@@ -132,6 +152,10 @@ func main() {
 			ProbeInterval: *probeIvl,
 			MaxBodyBytes:  *maxBytes,
 			Logger:        logger,
+			// One sink per node: the coordinator's route/hop half and the
+			// server's handler half of a self-served trace merge on /tracez.
+			Traces:          srv.Traces(),
+			TraceSampleRate: sampleRate,
 		})
 		go func() { _ = coord.Run(ctx) }()
 		handler = coord

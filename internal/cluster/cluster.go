@@ -24,9 +24,17 @@
 // observable (the cluster.* series, per-node latency quantiles on
 // GET /clusterz, an X-Omini-Node header plus a "node" field in routed
 // JSON responses recording which node served).
+//
+// Routed requests are distributed-traced end to end: the coordinator
+// makes one sampling decision per request, records "route" and "hop"
+// spans, and forwards the hop span's context in the X-Omini-Trace
+// header, so the serving node's handler and pipeline spans parent into
+// the coordinator's span tree under one 128-bit trace ID. Both halves
+// land in the tail-sampling sink behind the nodes' GET /tracez.
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"sync"
@@ -92,6 +100,16 @@ type Config struct {
 	// Client performs proxy hops and health probes; nil uses a
 	// dedicated client with sane connection reuse.
 	Client *http.Client
+	// Traces receives the coordinator's half of each traced request's
+	// span tree. Share the local serve.Server's sink so the route and
+	// handler halves of a self-served request merge into one trace on
+	// /tracez; nil builds a private sink.
+	Traces *obs.TraceSink
+	// TraceSampleRate is the fraction of routed requests traced when
+	// the client did not decide (0 = all, negative = none). The
+	// coordinator's decision is forwarded in the X-Omini-Trace header,
+	// so the serving node never samples independently.
+	TraceSampleRate float64
 }
 
 // member is the coordinator's view of one cluster node. Mutable state
@@ -122,6 +140,8 @@ type Coordinator struct {
 	breakers *resilience.BreakerGroup
 	retry    *resilience.RetryPolicy
 	handler  http.Handler
+	traces   *obs.TraceSink
+	sampler  *obs.Sampler
 
 	mu      sync.RWMutex
 	members map[string]*member
@@ -172,6 +192,13 @@ func New(cfg Config) *Coordinator {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.DefaultLogger()
 	}
+	if cfg.Traces == nil {
+		cfg.Traces = obs.NewTraceSink(0)
+	}
+	rate := cfg.TraceSampleRate
+	if rate == 0 {
+		rate = 1
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{
@@ -195,6 +222,8 @@ func New(cfg Config) *Coordinator {
 			MaxDelay:    cfg.RetryMaxDelay,
 			Stats:       cfg.Stats,
 		},
+		traces:  cfg.Traces,
+		sampler: obs.NewSampler(rate),
 		members: make(map[string]*member, len(cfg.Peers)),
 	}
 	for id, url := range cfg.Peers {
@@ -340,13 +369,17 @@ func sortNodes(nodes []nodeStatus) {
 type errorResponse struct {
 	Error  string `json:"error"`
 	Status int    `json:"status"`
+	// TraceID correlates the failure with its /tracez record, when the
+	// request was traced.
+	TraceID string `json:"traceId,omitempty"`
 }
 
-// writeError sends a structured JSON error with the given status.
-func writeError(w http.ResponseWriter, status int, msg string) {
+// writeError sends a structured JSON error with the given status,
+// stamping the context's trace ID (when traced) into the body.
+func writeError(ctx context.Context, w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(errorResponse{Error: msg, Status: status})
+	_ = enc.Encode(errorResponse{Error: msg, Status: status, TraceID: obs.TraceIDStringFrom(ctx)})
 }

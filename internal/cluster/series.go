@@ -1,5 +1,7 @@
 package cluster
 
+import "omini/internal/obs"
+
 // Registry series emitted by this package. One constant per series —
 // the obsnames analyzer enforces that emission sites use these and
 // that registerMetrics pre-registers every one of them, so /metricsz
@@ -68,6 +70,10 @@ func (c *Coordinator) registerMetrics() {
 		c.stats.Counter(name)
 	}
 	c.stats.Histogram(seriesHopSeconds)
+	// The routing-path spans, pre-registered like serve's phases so the
+	// route/hop histograms exist from boot.
+	c.stats.Histogram(obs.PhaseSeries("route"))
+	c.stats.Histogram(obs.PhaseSeries("hop"))
 	c.stats.RegisterGaugeFunc(gaugeRingNodes, func() float64 {
 		c.mu.RLock()
 		defer c.mu.RUnlock()

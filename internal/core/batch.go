@@ -77,9 +77,10 @@ type BatchOptions struct {
 //
 // Cancelling the context stops the batch promptly: dispatch halts, and
 // in-flight pages observe the cancellation through their governor polls
-// and abort with results carrying ctx.Err(). Requests never handed to a
-// worker report ErrUndispatched (wrapping ctx.Err()) instead, so
-// callers can tell interrupted work from work that never started. Each
+// and abort with results carrying ctx.Err(). Requests on which no work
+// started — never handed to a worker, or received by one only after the
+// cancellation — report ErrUndispatched (wrapping ctx.Err()) instead,
+// so callers can tell interrupted work from work that never started. Each
 // page additionally runs under the PageTimeout watchdog: a stuck or
 // over-budget page fails individually with govern.ErrDeadline while
 // the pool survives.
@@ -111,6 +112,16 @@ func (e *Extractor) ExtractBatch(ctx context.Context, reqs []BatchRequest, opts 
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				// The dispatcher's select can race a cancellation: when a
+				// worker frees up just as the context dies, Go may pick the
+				// send over ctx.Done() and hand over one more index. A page
+				// received after cancellation never started any work, so it
+				// reports ErrUndispatched like its never-sent peers rather
+				// than masquerading as an interrupted extraction.
+				if ctx.Err() != nil {
+					results[i] = BatchResult{Site: reqs[i].Site, Err: fmt.Errorf("%w: %w", ErrUndispatched, ctx.Err())}
+					continue
+				}
 				req := reqs[i]
 				results[i] = e.extractOne(ctx, req, store, timeout)
 			}

@@ -188,6 +188,12 @@ func (e *Extractor) ExtractContext(ctx context.Context, html string) (*Result, e
 	reg.Add(SeriesExtractions, 1)
 	ctx, cancel, g := e.governed(ctx)
 	defer cancel()
+	rec := obs.TraceRecorderFrom(ctx)
+	if rec != nil {
+		// Failed extractions carry their charges too: the deferred write
+		// runs on every exit, so a blown budget shows what was consumed.
+		defer recordCharges(rec, g)
+	}
 	res := &Result{}
 	root, err := e.parse(ctx, html, res, g)
 	if err != nil {
@@ -234,7 +240,8 @@ func (e *Extractor) ExtractContext(ctx context.Context, html string) (*Result, e
 		countFailure(reg, err)
 		return nil, err
 	}
-	if rec := obs.TraceRecorderFrom(ctx); rec != nil {
+	if rec != nil {
+		recordCharges(rec, g)
 		res.Trace = buildTrace(res, ranked, lists, rec)
 	}
 	return res, nil
@@ -257,6 +264,10 @@ func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rul
 	}
 	ctx, cancel, g := e.governed(ctx)
 	defer cancel()
+	rec := obs.TraceRecorderFrom(ctx)
+	if rec != nil {
+		defer recordCharges(rec, g)
+	}
 	res := &Result{}
 	root, err := e.parse(ctx, html, res, g)
 	if err != nil {
@@ -283,7 +294,8 @@ func (e *Extractor) ExtractWithRuleContext(ctx context.Context, html string, rul
 		reg.Add(SeriesRuleMismatches, 1)
 		return nil, fmt.Errorf("%w: separator %q absent", ErrRuleMismatch, rule.Separator)
 	}
-	if rec := obs.TraceRecorderFrom(ctx); rec != nil {
+	if rec != nil {
+		recordCharges(rec, g)
 		res.Trace = buildTrace(res, nil, nil, rec)
 		res.Trace.FromRule = true
 	}
@@ -351,14 +363,26 @@ func (e *Extractor) construct(ctx context.Context, sub *tagtree.Node, res *Resul
 // stop at rank 5).
 const traceTopN = 5
 
+// recordCharges stamps the guard's consumed budgets onto the trace
+// recorder, so traces (inline and /tracez) show what the extraction
+// cost the governor.
+func recordCharges(rec *obs.TraceRecorder, g *govern.Guard) {
+	tokens, nodes, objects := g.Charges()
+	rec.SetCharge("tokens", int64(tokens))
+	rec.SetCharge("nodes", int64(nodes))
+	rec.SetCharge("objects", int64(objects))
+}
+
 // buildTrace assembles the decision trace from the discovery state. ranked
 // and lists are nil on the cached-rule path, which skips discovery.
 func buildTrace(res *Result, ranked []subtree.Ranked, lists []combine.RankedList, rec *obs.TraceRecorder) *obs.DecisionTrace {
 	tr := &obs.DecisionTrace{
+		TraceID:     rec.TraceID().String(),
 		SubtreePath: res.SubtreePath,
 		Separator:   res.Separator,
 		Confidence:  res.Confidence(),
 		Objects:     len(res.Objects),
+		Charges:     rec.Charges(),
 	}
 	for i, r := range ranked {
 		if i >= traceTopN {

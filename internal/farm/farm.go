@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"io/fs"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -255,11 +256,9 @@ func (f *Farm) Extract(ctx context.Context, site, html string) (*core.Result, Ou
 // evicts the rule and falls through to rediscovery; any other failure
 // (resource limits, cancellation) propagates untouched.
 func (f *Farm) serveFast(ctx context.Context, site, html string, e *entry) (*core.Result, Outcome, error) {
-	start := time.Now()
-	res, err := f.ex.ExtractWithRuleContext(ctx, html, e.rule)
+	res, err := f.replayFast(ctx, html, e.rule)
 	if err == nil {
 		f.stats.Add(SeriesHits, 1)
-		f.stats.Observe(seriesFastSeconds, time.Since(start).Seconds())
 		f.maybeSample(site, html, e, res)
 		return res, Outcome{FromRule: true}, nil
 	}
@@ -314,10 +313,8 @@ func (f *Farm) join(ctx context.Context, fl *flight, site, html string) (*core.R
 	}
 	f.stats.Add(SeriesCoalesced, 1)
 	if fl.err == nil {
-		start := time.Now()
-		if res, err := f.ex.ExtractWithRuleContext(ctx, html, fl.rule); err == nil {
+		if res, err := f.replayFast(ctx, html, fl.rule); err == nil {
 			f.stats.Add(SeriesHits, 1)
-			f.stats.Observe(seriesFastSeconds, time.Since(start).Seconds())
 			return res, Outcome{FromRule: true, Coalesced: true}, nil
 		}
 	}
@@ -345,14 +342,43 @@ func (f *Farm) learnVersioned(ctx context.Context, site, html string, prevVersio
 	return res, Outcome{Learned: true, Relearned: prevVersion > 0}, nil
 }
 
-// discover runs full Phase-2 discovery and records slow-path latency.
-func (f *Farm) discover(ctx context.Context, html string) (*core.Result, error) {
+// replayFast runs one cached-rule replay under the "farm.fast" span and
+// pprof path label, recording fast-path latency (with a trace exemplar
+// when the request is traced) on success.
+func (f *Farm) replayFast(ctx context.Context, html string, rule rules.Rule) (*core.Result, error) {
 	start := time.Now()
-	res, err := f.ex.ExtractContext(ctx, html)
+	fctx, sp := obs.StartSpan(ctx, "farm.fast")
+	var res *core.Result
+	var err error
+	pprof.Do(fctx, pprof.Labels("path", "fast"), func(pctx context.Context) {
+		res, err = f.ex.ExtractWithRuleContext(pctx, html, rule)
+	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	f.stats.Observe(seriesSlowSeconds, time.Since(start).Seconds())
+	obs.AnnotateTrace(ctx, "path", "fast")
+	f.stats.ObserveExemplar(seriesFastSeconds, time.Since(start).Seconds(), obs.TraceIDStringFrom(ctx))
+	return res, nil
+}
+
+// discover runs full Phase-2 discovery under the "farm.slow" span and
+// pprof path label, recording slow-path latency (with a trace exemplar
+// when the request is traced).
+func (f *Farm) discover(ctx context.Context, html string) (*core.Result, error) {
+	start := time.Now()
+	sctx, sp := obs.StartSpan(ctx, "farm.slow")
+	var res *core.Result
+	var err error
+	pprof.Do(sctx, pprof.Labels("path", "slow"), func(pctx context.Context) {
+		res, err = f.ex.ExtractContext(pctx, html)
+	})
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	obs.AnnotateTrace(ctx, "path", "slow")
+	f.stats.ObserveExemplar(seriesSlowSeconds, time.Since(start).Seconds(), obs.TraceIDStringFrom(ctx))
 	return res, nil
 }
 

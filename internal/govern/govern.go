@@ -225,6 +225,16 @@ func (g *Guard) Objects(n int) error {
 	return g.step(n)
 }
 
+// Charges reports the work charged so far: produced tokens, built
+// tree nodes, constructed objects. Trace recording reads it to stamp
+// governor consumption onto a request's trace.
+func (g *Guard) Charges() (tokens, nodes, objects int) {
+	if g == nil {
+		return 0, 0, 0
+	}
+	return g.tokens, g.nodes, g.objects
+}
+
 // Poll charges one unit of un-budgeted work (a visited node, a
 // scanned candidate) and checks the context every pollEvery charges.
 // This is the hook the analysis phases — subtree ranking, separator

@@ -20,6 +20,7 @@ var registryNameMethods = map[string]bool{
 	"RegisterGaugeFunc": true,
 	"Histogram":         true,
 	"Observe":           true,
+	"ObserveExemplar":   true,
 }
 
 // seriesGrammar is the registry naming grammar: dotted lower-case with

@@ -6,10 +6,11 @@ package obs
 // Registry mirrors the real registry's name-taking surface.
 type Registry struct{}
 
-func (r *Registry) Counter(name string)            {}
-func (r *Registry) Add(name string, n int64)       {}
-func (r *Registry) Histogram(name string)          {}
-func (r *Registry) Observe(name string, v float64) {}
+func (r *Registry) Counter(name string)                                    {}
+func (r *Registry) Add(name string, n int64)                               {}
+func (r *Registry) Histogram(name string)                                  {}
+func (r *Registry) Observe(name string, v float64)                         {}
+func (r *Registry) ObserveExemplar(name string, v float64, traceID string) {}
 
 // PhaseSeries mirrors the sanctioned labeled-family helper.
 func PhaseSeries(phase string) string {

@@ -32,6 +32,8 @@ func emit(r *obs.Registry, dyn string, flag bool) {
 	r.Add(pick(flag), 1)
 	r.Observe(obs.PhaseSeries("walk"), 1)
 	r.Observe(obs.PhaseSeries(dyn), 1) // want "must be a compile-time constant phase name"
+	r.ObserveExemplar(seriesGood, 1, dyn)
+	r.ObserveExemplar("serve."+dyn, 1, dyn) // want "must be a compile-time constant"
 }
 
 // pick yields only pre-registered constants, the sanctioned helper

@@ -69,6 +69,17 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// exemplarSuffix renders a bucket's exemplar as an OpenMetrics-style
+// comment suffix (` # {trace_id="..."} value`), or "" without one. The
+// suffix rides after the sample value, so whitespace-splitting scrape
+// parsers that read the first two fields are unaffected.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, formatFloat(e.Value))
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format: counters and gauges as-is, histograms as _bucket/_sum/_count plus
 // a <family>_quantile gauge family with p50/p95/p99 estimates. Output is
@@ -141,10 +152,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			var cum int64
 			for i, bound := range s.Bounds {
 				cum += s.Counts[i]
-				fmt.Fprintf(&b, "%s_bucket%s %d\n",
-					fam, joinLabels(labels, "le", formatFloat(bound)), cum)
+				fmt.Fprintf(&b, "%s_bucket%s %d%s\n",
+					fam, joinLabels(labels, "le", formatFloat(bound)), cum,
+					exemplarSuffix(s.Exemplars[i]))
 			}
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, joinLabels(labels, "le", "+Inf"), s.Count)
+			fmt.Fprintf(&b, "%s_bucket%s %d%s\n", fam, joinLabels(labels, "le", "+Inf"), s.Count,
+				exemplarSuffix(s.Exemplars[len(s.Bounds)]))
 			fmt.Fprintf(&b, "%s_sum%s %s\n", fam, joinLabels(labels, "", ""), formatFloat(s.Sum))
 			fmt.Fprintf(&b, "%s_count%s %d\n", fam, joinLabels(labels, "", ""), s.Count)
 		}

@@ -27,10 +27,18 @@ var DefaultBounds = []float64{
 // interpolation inside the winning bucket — exact enough for p50/p95/p99
 // dashboards, and the buckets themselves are exposed for anything finer.
 type Histogram struct {
-	bounds []float64      // ascending upper bounds; +Inf bucket is implicit
-	counts []atomic.Int64 // len(bounds)+1
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64      // ascending upper bounds; +Inf bucket is implicit
+	counts    []atomic.Int64 // len(bounds)+1
+	count     atomic.Int64
+	sum       atomic.Uint64 // float64 bits, CAS-updated
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it, in
+// the OpenMetrics sense: the most recent traced observation per bucket.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // NewHistogram returns a histogram with the given ascending upper bounds;
@@ -40,8 +48,9 @@ func NewHistogram(bounds []float64) *Histogram {
 		bounds = DefaultBounds
 	}
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -59,6 +68,17 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty,
+// stamps it as the winning bucket's exemplar (last writer wins — the
+// freshest trace is the useful one).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+	h.Observe(v)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -73,6 +93,9 @@ type HistogramSnapshot struct {
 	Counts []int64
 	Count  int64
 	Sum    float64
+	// Exemplars[i] is the latest traced observation that landed in
+	// bucket i (nil when the bucket has never seen one).
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the histogram's buckets. The per-bucket loads are not
@@ -80,13 +103,15 @@ type HistogramSnapshot struct {
 // the usual Prometheus sense.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Bounds: h.bounds,
-		Counts: make([]int64, len(h.counts)),
-		Count:  h.count.Load(),
-		Sum:    h.Sum(),
+		Bounds:    h.bounds,
+		Counts:    make([]int64, len(h.counts)),
+		Count:     h.count.Load(),
+		Sum:       h.Sum(),
+		Exemplars: make([]*Exemplar, len(h.counts)),
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
 }

@@ -139,6 +139,15 @@ func (r *Registry) Observe(name string, v float64) {
 	r.Histogram(name).Observe(v)
 }
 
+// ObserveExemplar records v into the named histogram and attaches the
+// trace ID as the bucket's exemplar, so a latency outlier on /metricsz
+// links to the /tracez trace that caused it. An empty trace ID records
+// the value without an exemplar, so untraced requests share the call
+// site.
+func (r *Registry) ObserveExemplar(name string, v float64, traceID string) {
+	r.Histogram(name).ObserveExemplar(v, traceID)
+}
+
 // Snapshot returns a point-in-time copy of every counter. (Gauges and
 // histograms have their own read paths; this keeps the legacy /statsz
 // payload shape.)

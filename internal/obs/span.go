@@ -2,9 +2,12 @@ package obs
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,7 +24,10 @@ func PhaseSeries(phase string) string {
 
 // PhaseSample is one completed span as recorded in a trace: its name, its
 // position in the span tree, wall time, and (when the recorder samples
-// allocations) the process-wide allocation delta across the span.
+// allocations) the process-wide allocation delta across the span. On
+// traced requests it additionally carries the span's distributed-tracing
+// identity: its own ID, its parent's ID (which may live on another node),
+// and its start offset from the local recorder's start.
 type PhaseSample struct {
 	// Name is the span name ("tokenize", "tidy", ...).
 	Name string `json:"name"`
@@ -31,6 +37,16 @@ type PhaseSample struct {
 	Depth int `json:"depth"`
 	// DurationNS is the span's wall time in nanoseconds.
 	DurationNS int64 `json:"durationNs"`
+	// SpanID / ParentSpanID identify the span in its distributed trace
+	// (16 hex digits; empty on untraced extractions). A root span's
+	// ParentSpanID may name a span recorded on another node — the
+	// cluster hop that forwarded the request here.
+	SpanID       string `json:"spanId,omitempty"`
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+	// StartNS is the span's start offset from the recorder's start, in
+	// nanoseconds. Offsets are node-local clocks; spans from different
+	// nodes of one trace are not mutually aligned.
+	StartNS int64 `json:"startNs,omitempty"`
 	// AllocBytes and Allocs are the process-wide heap-allocation deltas
 	// over the span (approximate under concurrency; exact when the traced
 	// extraction runs alone, which is how traces are usually taken).
@@ -38,17 +54,122 @@ type PhaseSample struct {
 	Allocs     int64 `json:"allocs,omitempty"`
 }
 
-// TraceRecorder accumulates the completed spans of one traced operation.
-// Attach one to a context with WithTraceRecorder; spans started under that
-// context report into it. Safe for concurrent use.
+// TraceRecorder accumulates the completed spans of one traced operation,
+// along with its trace identity, free-form annotations and governor
+// charges. Attach one to a context with StartTrace (or the
+// WithTraceRecorder shorthand); spans started under that context report
+// into it. Safe for concurrent use.
 type TraceRecorder struct {
 	// SampleAllocs enables per-span allocation deltas via
 	// runtime.ReadMemStats. The read briefly stops the world, so it is
 	// opt-in and meant for interactive tracing, not steady-state serving.
 	SampleAllocs bool
 
-	mu    sync.Mutex
-	spans []PhaseSample
+	traceID TraceID
+	remote  SpanID // upstream parent span; local roots parent to it
+	start   time.Time
+	base    uint64        // random base for span-ID allocation
+	seq     atomic.Uint64 // per-span increment over base
+
+	mu      sync.Mutex
+	spans   []PhaseSample
+	attrs   map[string]string
+	charges map[string]int64
+}
+
+// TraceID returns the trace's identity.
+func (tr *TraceRecorder) TraceID() TraceID {
+	if tr == nil {
+		return TraceID{}
+	}
+	return tr.traceID
+}
+
+// Start returns the recorder's creation time; span StartNS offsets are
+// relative to it.
+func (tr *TraceRecorder) Start() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return tr.start
+}
+
+// nextSpanID allocates a span ID unique within this recorder: one
+// random 64-bit base per trace plus an atomic sequence, so the serving
+// path pays no per-span randomness.
+func (tr *TraceRecorder) nextSpanID() SpanID {
+	v := tr.base + tr.seq.Add(1)
+	if v == 0 {
+		v = tr.base + tr.seq.Add(1)
+	}
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], v)
+	return id
+}
+
+// Annotate attaches a key/value attribute to the trace (the farm path
+// taken, for example). First write wins on a duplicate key.
+func (tr *TraceRecorder) Annotate(k, v string) {
+	if tr == nil || k == "" {
+		return
+	}
+	tr.mu.Lock()
+	if tr.attrs == nil {
+		tr.attrs = make(map[string]string, 4)
+	}
+	if _, ok := tr.attrs[k]; !ok {
+		tr.attrs[k] = v
+	}
+	tr.mu.Unlock()
+}
+
+// Attrs returns a copy of the trace's attributes (nil when none).
+func (tr *TraceRecorder) Attrs() map[string]string {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(tr.attrs))
+	for k, v := range tr.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// SetCharge records one governor charge (tokens, nodes, objects)
+// consumed by the traced operation. Last write wins.
+func (tr *TraceRecorder) SetCharge(kind string, v int64) {
+	if tr == nil || kind == "" {
+		return
+	}
+	tr.mu.Lock()
+	if tr.charges == nil {
+		tr.charges = make(map[string]int64, 4)
+	}
+	tr.charges[kind] = v
+	tr.mu.Unlock()
+}
+
+// Charges returns a copy of the recorded governor charges (nil when
+// none).
+func (tr *TraceRecorder) Charges() map[string]int64 {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.charges) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(tr.charges))
+	for k, v := range tr.charges {
+		out[k] = v
+	}
+	return out
 }
 
 // Spans returns the recorded samples in completion order.
@@ -69,12 +190,30 @@ func (tr *TraceRecorder) add(s PhaseSample) {
 type recorderKey struct{}
 type spanKey struct{}
 
-// WithTraceRecorder returns a context carrying a fresh TraceRecorder and
-// the recorder itself. sampleAllocs additionally records per-span
-// allocation deltas (see TraceRecorder.SampleAllocs).
-func WithTraceRecorder(ctx context.Context, sampleAllocs bool) (context.Context, *TraceRecorder) {
-	tr := &TraceRecorder{SampleAllocs: sampleAllocs}
+// StartTrace returns a context carrying a fresh TraceRecorder for one
+// traced operation. sc continues an upstream trace: its TraceID is
+// adopted (a zero TraceID generates a fresh one) and its SpanID becomes
+// the remote parent of the local root span. sampleAllocs additionally
+// records per-span allocation deltas (see TraceRecorder.SampleAllocs).
+func StartTrace(ctx context.Context, sc SpanContext, sampleAllocs bool) (context.Context, *TraceRecorder) {
+	tr := &TraceRecorder{
+		SampleAllocs: sampleAllocs,
+		traceID:      sc.TraceID,
+		remote:       sc.SpanID,
+		start:        time.Now(),
+		base:         rand.Uint64(),
+	}
+	if tr.traceID.IsZero() {
+		tr.traceID = NewTraceID()
+	}
 	return context.WithValue(ctx, recorderKey{}, tr), tr
+}
+
+// WithTraceRecorder is StartTrace with a fresh trace identity — the
+// single-process tracing entry point (omini -trace, golden trace
+// tests).
+func WithTraceRecorder(ctx context.Context, sampleAllocs bool) (context.Context, *TraceRecorder) {
+	return StartTrace(ctx, SpanContext{}, sampleAllocs)
 }
 
 // TraceRecorderFrom returns the context's recorder, or nil when the
@@ -87,25 +226,61 @@ func TraceRecorderFrom(ctx context.Context) *TraceRecorder {
 	return tr
 }
 
+// TraceIDStringFrom returns the hex trace ID of the context's trace,
+// or "" when the operation is not being traced — the exemplar argument
+// for Registry.ObserveExemplar.
+func TraceIDStringFrom(ctx context.Context) string {
+	tr := TraceRecorderFrom(ctx)
+	if tr == nil {
+		return ""
+	}
+	return tr.traceID.String()
+}
+
+// AnnotateTrace attaches a key/value attribute to the context's trace;
+// a no-op on untraced contexts.
+func AnnotateTrace(ctx context.Context, k, v string) {
+	TraceRecorderFrom(ctx).Annotate(k, v)
+}
+
+// SpanContextFrom returns the propagation context of the current span:
+// the trace ID plus the innermost open span's ID, marked sampled. It is
+// invalid (zero) when the context carries no traced span — untraced
+// work propagates nothing.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	if sp == nil || sp.rec == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: sp.rec.traceID, SpanID: sp.id, Sampled: true}
+}
+
 // Span is one in-flight timed region. Created by StartSpan; End records it
 // into the context's registry histogram and trace recorder.
 type Span struct {
-	name   string
-	parent string
-	depth  int
-	start  time.Time
-	dur    time.Duration
-	reg    *Registry
-	rec    *TraceRecorder
-	mem0   runtime.MemStats
-	ended  bool
+	name     string
+	parent   string
+	depth    int
+	id       SpanID
+	parentID SpanID
+	startOff int64
+	start    time.Time
+	dur      time.Duration
+	reg      *Registry
+	rec      *TraceRecorder
+	mem0     runtime.MemStats
+	ended    bool
 }
 
 // StartSpan begins a named span under ctx and returns a derived context
 // (carrying the span, so nested StartSpan calls see their parent) plus the
 // span itself. The span's wall time always lands in the context registry's
 // per-phase histogram; when the context carries a TraceRecorder the span is
-// also appended to the trace. Always pair with End:
+// also appended to the trace with a span ID parented into the trace's span
+// tree. Always pair with End:
 //
 //	ctx, sp := obs.StartSpan(ctx, "tidy")
 //	... phase work ...
@@ -119,12 +294,36 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
 		sp.parent = parent.name
 		sp.depth = parent.depth + 1
+		sp.parentID = parent.id
+	} else if sp.rec != nil {
+		sp.parentID = sp.rec.remote
 	}
-	if sp.rec != nil && sp.rec.SampleAllocs {
-		runtime.ReadMemStats(&sp.mem0)
+	if sp.rec != nil {
+		sp.id = sp.rec.nextSpanID()
+		sp.startOff = time.Since(sp.rec.start).Nanoseconds()
+		if sp.rec.SampleAllocs {
+			runtime.ReadMemStats(&sp.mem0)
+		}
 	}
 	sp.start = time.Now()
 	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// ID returns the span's trace-local identity (zero on untraced spans).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// Context returns the span's propagation context for cross-node
+// forwarding; invalid (zero) on untraced spans.
+func (s *Span) Context() SpanContext {
+	if s == nil || s.rec == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.traceID, SpanID: s.id, Sampled: true}
 }
 
 // End completes the span, recording wall time (and alloc deltas when
@@ -141,10 +340,16 @@ func (s *Span) End() {
 		return
 	}
 	sample := PhaseSample{
-		Name:       s.name,
-		Parent:     s.parent,
-		Depth:      s.depth,
-		DurationNS: s.dur.Nanoseconds(),
+		Name:         s.name,
+		Parent:       s.parent,
+		Depth:        s.depth,
+		DurationNS:   s.dur.Nanoseconds(),
+		SpanID:       s.id.String(),
+		ParentSpanID: s.parentID.String(),
+		StartNS:      s.startOff,
+	}
+	if s.parentID.IsZero() {
+		sample.ParentSpanID = ""
 	}
 	if s.rec.SampleAllocs {
 		var m runtime.MemStats

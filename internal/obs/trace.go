@@ -29,6 +29,10 @@ type Ranking struct {
 // encoding/json; ?trace=1 on the HTTP service and `omini -trace` both emit
 // exactly this structure.
 type DecisionTrace struct {
+	// TraceID is the distributed trace this extraction belongs to (32
+	// hex digits), correlating the inline trace with /tracez, the access
+	// log and histogram exemplars. Empty on recorders without identity.
+	TraceID string `json:"traceId,omitempty"`
 	// SubtreePath is the chosen object-rich subtree.
 	SubtreePath string `json:"subtreePath"`
 	// SubtreeRanking lists the top-ranked subtree candidates (path + score)
@@ -51,4 +55,7 @@ type DecisionTrace struct {
 	Objects int `json:"objects"`
 	// Phases are the completed pipeline spans, in completion order.
 	Phases []PhaseSample `json:"phases,omitempty"`
+	// Charges are the governor budgets this extraction consumed
+	// (tokens, nodes, objects), when it ran under a guard.
+	Charges map[string]int64 `json:"governorCharges,omitempty"`
 }

@@ -1,0 +1,408 @@
+package obs
+
+// Distributed tracing identity and storage: 128-bit trace IDs, 64-bit
+// span IDs, a W3C-traceparent-style header codec for propagating them
+// across cluster hops, a cheap probabilistic head sampler, and a
+// bounded tail-sampling sink that always keeps errored and slowest-N
+// traces. The types are transport-agnostic; internal/serve and
+// internal/cluster wire them to HTTP.
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying trace identity across
+// cluster hops, in the W3C traceparent shape:
+//
+//	X-Omini-Trace: 00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+//
+// Flag bit 0 is "sampled": the sender is recording this trace, and the
+// receiver should record its part too so the span tree is complete.
+const TraceHeader = "X-Omini-Trace"
+
+// TraceID is a 128-bit trace identity shared by every span of one
+// request, across every node it touches.
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identity, unique within its trace.
+type SpanID [8]byte
+
+// NewTraceID returns a random non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], rand.Uint64())
+	binary.BigEndian.PutUint64(id[8:], rand.Uint64())
+	if id == (TraceID{}) {
+		id[15] = 1
+	}
+	return id
+}
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lower-case hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lower-case hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated identity of one span: the trace it
+// belongs to, its own ID (the parent of whatever the receiver starts),
+// and whether the trace is being recorded.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context carries a usable trace ID.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() }
+
+// Header encodes the context in the TraceHeader wire format.
+func (sc SpanContext) Header() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceHeader decodes a TraceHeader value. An empty string is not
+// an error shape worth distinguishing: it returns a zero (invalid)
+// context and a nil error, so callers can treat "absent" and "present"
+// uniformly through Valid().
+func ParseTraceHeader(s string) (SpanContext, error) {
+	if s == "" {
+		return SpanContext{}, nil
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return SpanContext{}, fmt.Errorf("obs: malformed trace header %q", s)
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(parts[1])); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: bad trace id in header %q: %w", s, err)
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(parts[2])); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: bad span id in header %q: %w", s, err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(parts[3])); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: bad flags in header %q: %w", s, err)
+	}
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, fmt.Errorf("obs: zero trace id in header %q", s)
+	}
+	sc.Sampled = flags[0]&1 != 0
+	return sc, nil
+}
+
+// Sampler makes the head-sampling decision for requests that arrive
+// without an upstream decision. A nil Sampler samples everything.
+type Sampler struct {
+	rate float64
+}
+
+// NewSampler returns a sampler recording the given fraction of
+// requests: rate >= 1 records all, rate <= 0 records none.
+func NewSampler(rate float64) *Sampler {
+	return &Sampler{rate: rate}
+}
+
+// Sample reports whether the next request should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.rate >= 1 {
+		return true
+	}
+	if s.rate <= 0 {
+		return false
+	}
+	return rand.Float64() < s.rate
+}
+
+// TraceSummary is one trace's /tracez list row.
+type TraceSummary struct {
+	TraceID string `json:"traceId"`
+	// Node is the cluster node that recorded this trace ("" single-node).
+	Node string `json:"node,omitempty"`
+	// Op is the operation ("/extract", "/records", "route").
+	Op string `json:"op,omitempty"`
+	// Site is the requested site, when known.
+	Site string `json:"site,omitempty"`
+	// Path is the farm serving path taken ("fast" or "slow"), when the
+	// request reached the farm.
+	Path string `json:"path,omitempty"`
+	// Status is the HTTP status the request finished with.
+	Status int `json:"status,omitempty"`
+	// Error is the error message of a failed request.
+	Error      string    `json:"error,omitempty"`
+	StartedAt  time.Time `json:"startedAt"`
+	DurationNS int64     `json:"durationNs"`
+	SpanCount  int       `json:"spanCount"`
+}
+
+// TraceData is one stored trace: the summary plus the full span tree,
+// free-form attributes, and the governor charges of its extraction.
+type TraceData struct {
+	TraceSummary
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Charges map[string]int64  `json:"governorCharges,omitempty"`
+	Spans   []PhaseSample     `json:"spans,omitempty"`
+}
+
+// errored reports whether the trace should be pinned as a failure.
+func (t *TraceData) errored() bool {
+	return t.Status >= 400 || t.Error != ""
+}
+
+// DefaultTraceCapacity bounds the trace sink when no capacity is
+// configured.
+const DefaultTraceCapacity = 256
+
+// TraceSink is the bounded tail-sampling trace buffer behind
+// GET /tracez. Every finished sampled trace is Recorded; when the
+// buffer is full the sink evicts the oldest trace that is neither
+// errored nor among the slowest keep-slow set, so the traces worth
+// debugging — failures and tail latency — survive buffer churn.
+// Recording a trace ID that is already stored merges the span sets,
+// which is how the coordinator half and the serve half of a
+// self-served request end up as one trace.
+type TraceSink struct {
+	mu       sync.Mutex
+	capacity int
+	keepSlow int
+	entries  map[string]*TraceData
+	order    []string // insertion order, oldest first
+}
+
+// NewTraceSink returns a sink holding up to capacity traces
+// (DefaultTraceCapacity when capacity <= 0). A quarter of the buffer
+// (at least 4 slots) is reserved for the slowest traces.
+func NewTraceSink(capacity int) *TraceSink {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	keepSlow := capacity / 4
+	if keepSlow < 4 {
+		keepSlow = 4
+	}
+	if keepSlow > capacity {
+		keepSlow = capacity
+	}
+	return &TraceSink{
+		capacity: capacity,
+		keepSlow: keepSlow,
+		entries:  make(map[string]*TraceData, capacity),
+	}
+}
+
+// Capacity returns the configured bound.
+func (s *TraceSink) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// Len returns the number of stored traces.
+func (s *TraceSink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Record stores (or merges) one finished trace and returns how many
+// traces were evicted to make room. The sink takes ownership of t.
+func (s *TraceSink) Record(t *TraceData) (evicted int) {
+	if s == nil || t == nil || t.TraceID == "" {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing := s.entries[t.TraceID]; existing != nil {
+		mergeTrace(existing, t)
+		return 0
+	}
+	s.entries[t.TraceID] = t
+	s.order = append(s.order, t.TraceID)
+	for len(s.entries) > s.capacity {
+		if !s.evictOneLocked() {
+			break
+		}
+		evicted++
+	}
+	return evicted
+}
+
+// mergeTrace folds src into dst: span sets concatenate, empty scalar
+// fields fill in, the window extends to cover both halves. Durations
+// are node-local measurements; the merged duration is the larger one
+// (the outer half covers the inner).
+func mergeTrace(dst, src *TraceData) {
+	dst.Spans = append(dst.Spans, src.Spans...)
+	dst.SpanCount = len(dst.Spans)
+	if dst.Node == "" {
+		dst.Node = src.Node
+	}
+	if dst.Op == "" || src.Op == "route" {
+		// The route half is the outermost view of the request.
+		dst.Op = src.Op
+	}
+	if dst.Site == "" {
+		dst.Site = src.Site
+	}
+	if dst.Path == "" {
+		dst.Path = src.Path
+	}
+	if dst.Error == "" {
+		dst.Error = src.Error
+	}
+	if dst.Status == 0 {
+		dst.Status = src.Status
+	}
+	if dst.StartedAt.IsZero() || (!src.StartedAt.IsZero() && src.StartedAt.Before(dst.StartedAt)) {
+		dst.StartedAt = src.StartedAt
+	}
+	if src.DurationNS > dst.DurationNS {
+		dst.DurationNS = src.DurationNS
+	}
+	if len(src.Attrs) > 0 {
+		if dst.Attrs == nil {
+			dst.Attrs = make(map[string]string, len(src.Attrs))
+		}
+		for k, v := range src.Attrs {
+			if _, ok := dst.Attrs[k]; !ok {
+				dst.Attrs[k] = v
+			}
+		}
+	}
+	if len(src.Charges) > 0 {
+		if dst.Charges == nil {
+			dst.Charges = make(map[string]int64, len(src.Charges))
+		}
+		for k, v := range src.Charges {
+			if _, ok := dst.Charges[k]; !ok {
+				dst.Charges[k] = v
+			}
+		}
+	}
+}
+
+// evictOneLocked removes one trace under the tail-sampling policy:
+// the oldest trace that is neither errored nor in the slowest-N set.
+// When everything is pinned, the oldest errored non-slow trace goes,
+// and as the final fallback the oldest trace of all — the bound always
+// holds. Reports whether anything was removed.
+func (s *TraceSink) evictOneLocked() bool {
+	if len(s.order) == 0 {
+		return false
+	}
+	slow := s.slowestLocked()
+	victim := -1
+	for i, id := range s.order {
+		t := s.entries[id]
+		if t == nil {
+			victim = i // stale order entry; reclaim it
+			break
+		}
+		if !t.errored() && !slow[id] {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		for i, id := range s.order {
+			if t := s.entries[id]; t != nil && !slow[id] {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	id := s.order[victim]
+	s.order = append(s.order[:victim], s.order[victim+1:]...)
+	delete(s.entries, id)
+	return true
+}
+
+// slowestLocked returns the IDs of the keepSlow slowest stored traces.
+func (s *TraceSink) slowestLocked() map[string]bool {
+	type slowEntry struct {
+		id  string
+		dur int64
+	}
+	all := make([]slowEntry, 0, len(s.entries))
+	for id, t := range s.entries {
+		all = append(all, slowEntry{id: id, dur: t.DurationNS})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].dur > all[j].dur })
+	n := s.keepSlow
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make(map[string]bool, n)
+	for _, e := range all[:n] {
+		out[e.id] = true
+	}
+	return out
+}
+
+// List returns summaries of every stored trace, newest first.
+func (s *TraceSink) List() []TraceSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceSummary, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if t := s.entries[s.order[i]]; t != nil {
+			out = append(out, t.TraceSummary)
+		}
+	}
+	return out
+}
+
+// Get returns a copy of one stored trace by ID.
+func (s *TraceSink) Get(id string) (TraceData, bool) {
+	if s == nil {
+		return TraceData{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.entries[id]
+	if t == nil {
+		return TraceData{}, false
+	}
+	out := *t
+	out.Spans = append([]PhaseSample(nil), t.Spans...)
+	if t.Attrs != nil {
+		out.Attrs = make(map[string]string, len(t.Attrs))
+		for k, v := range t.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	if t.Charges != nil {
+		out.Charges = make(map[string]int64, len(t.Charges))
+		for k, v := range t.Charges {
+			out.Charges[k] = v
+		}
+	}
+	return out, true
+}

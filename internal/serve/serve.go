@@ -18,6 +18,15 @@
 // each request emits one structured access-log line with its decision
 // summary, and ?trace=1 on /extract returns the full decision trace
 // inline.
+//
+// Extraction requests are additionally distributed-traced: each sampled
+// request gets a 128-bit trace ID (adopted from the X-Omini-Trace header
+// when a cluster coordinator forwarded it, freshly minted otherwise), its
+// handler/farm/pipeline spans are recorded as one span tree, and finished
+// traces land in a bounded tail-sampling buffer served by GET /tracez —
+// errored and slowest traces are pinned, so the requests worth debugging
+// survive buffer churn. The trace ID is stamped into the access-log line,
+// JSON error bodies, and the latency histograms' exemplars.
 package serve
 
 import (
@@ -29,6 +38,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	rpprof "runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -85,6 +95,19 @@ type Config struct {
 	// hit and flushes the rule store if dirty. 0 selects the farm
 	// default (1m); negative disables the sweep.
 	RelearnInterval time.Duration
+	// TraceSampleRate is the fraction of extraction requests traced when
+	// the client (or an upstream coordinator) did not decide: 0 selects
+	// the default (trace everything), negative disables head sampling.
+	// ?trace=1 always traces, and a sampled X-Omini-Trace header always
+	// wins — the upstream hop already decided for the whole request.
+	TraceSampleRate float64
+	// TraceCapacity bounds the tail-sampling trace buffer behind
+	// GET /tracez (default obs.DefaultTraceCapacity).
+	TraceCapacity int
+	// Traces is the trace sink; nil builds one with TraceCapacity. A
+	// cluster node shares one sink between its coordinator and server so
+	// both halves of a self-served request merge into one trace.
+	Traces *obs.TraceSink
 }
 
 const (
@@ -98,6 +121,11 @@ const (
 // before the first request arrives.
 var pipelinePhases = []string{"tokenize", "tidy", "build", "subtree", "separator", "extract"}
 
+// servingPhases are the serving-layer spans recorded above the pipeline
+// on traced requests: the handler root span and the farm's fast/slow
+// path spans. Pre-registered for the same from-boot reason.
+var servingPhases = []string{"handler", "farm.fast", "farm.slow"}
+
 // Registry series emitted by this package. One constant per series;
 // registerMetrics pre-registers every one of them (plus core's) so a
 // scrape of a fresh process already shows the full metric surface.
@@ -109,9 +137,18 @@ const (
 	seriesRuleHits  = "serve.rule_hits"
 	seriesRuleStale = "serve.rule_stale"
 
+	// Trace lifecycle: sampled counts requests that recorded a trace,
+	// stored counts traces that reached the tail-sampling sink, evicted
+	// counts traces the full sink displaced; buffered is the sink's
+	// current size.
+	seriesTraceSampled = "trace.sampled"
+	seriesTraceStored  = "trace.stored"
+	seriesTraceEvicted = "trace.evicted"
+
 	gaugeInflight       = "serve.inflight"
 	gaugeCachedRules    = "serve.cached_rules"
 	gaugeCachedWrappers = "serve.cached_wrappers"
+	gaugeTraceBuffered  = "trace.buffered"
 
 	// Request-latency series, one per public endpoint plus the pprof and
 	// catch-all buckets, keeping label cardinality bounded regardless of
@@ -125,6 +162,7 @@ const (
 	seriesReqStatsz   = `omini_request_seconds{path="/statsz"}`
 	seriesReqMetricsz = `omini_request_seconds{path="/metricsz"}`
 	seriesReqPprof    = `omini_request_seconds{path="/debug/pprof"}`
+	seriesReqTracez   = `omini_request_seconds{path="/tracez"}`
 	seriesReqOther    = `omini_request_seconds{path="other"}`
 )
 
@@ -136,6 +174,8 @@ type Server struct {
 	limiter   *resilience.Limiter
 	stats     *resilience.Stats
 	log       *obs.Logger
+	traces    *obs.TraceSink
+	sampler   *obs.Sampler
 
 	// farm is the rule-cache-first serving layer: sharded rule LRU,
 	// singleflight learn-on-miss, drift revalidation, persistence.
@@ -169,12 +209,21 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.DefaultLogger()
 	}
+	if cfg.Traces == nil {
+		cfg.Traces = obs.NewTraceSink(cfg.TraceCapacity)
+	}
+	rate := cfg.TraceSampleRate
+	if rate == 0 {
+		rate = 1
+	}
 	s := &Server{
 		cfg:       cfg,
 		extractor: core.New(core.Options{Limits: cfg.Limits}),
 		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
 		stats:     cfg.Stats,
 		log:       cfg.Logger,
+		traces:    cfg.Traces,
+		sampler:   obs.NewSampler(rate),
 		wrappers:  make(map[string]*wrapgen.Wrapper),
 	}
 	// The farm shares the server's extractor, registry and logger, so
@@ -212,6 +261,7 @@ func New(cfg Config) *Server {
 	})
 	root.HandleFunc("GET /readyz", s.handleReadyz)
 	root.HandleFunc("GET /rulesz", s.handleRulesz)
+	root.HandleFunc("GET /tracez", s.handleTracez)
 	root.HandleFunc("GET /statsz", s.handleStatsz)
 	root.HandleFunc("GET /metricsz", s.handleMetricsz)
 	root.HandleFunc("/debug/pprof/", pprof.Index)
@@ -236,6 +286,7 @@ func (s *Server) registerMetrics() {
 	for _, name := range []string{
 		seriesRequests, seriesErrors, seriesPanics, seriesShed,
 		seriesRuleHits, seriesRuleStale,
+		seriesTraceSampled, seriesTraceStored, seriesTraceEvicted,
 		core.SeriesExtractions, core.SeriesErrors,
 		core.SeriesDeadlineExceeded, core.SeriesCancelled,
 		core.SeriesRuleExtractions, core.SeriesRuleMismatches,
@@ -251,11 +302,14 @@ func (s *Server) registerMetrics() {
 		seriesReqExtract, seriesReqRecords, seriesReqRules,
 		seriesReqRulesz, seriesReqHealthz, seriesReqReadyz,
 		seriesReqStatsz, seriesReqMetricsz, seriesReqPprof,
-		seriesReqOther,
+		seriesReqTracez, seriesReqOther,
 	} {
 		s.stats.Histogram(name)
 	}
 	for _, phase := range pipelinePhases {
+		s.stats.Histogram(obs.PhaseSeries(phase))
+	}
+	for _, phase := range servingPhases {
 		s.stats.Histogram(obs.PhaseSeries(phase))
 	}
 	s.stats.RegisterGaugeFunc(gaugeInflight, func() float64 {
@@ -268,6 +322,9 @@ func (s *Server) registerMetrics() {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		return float64(len(s.wrappers))
+	})
+	s.stats.RegisterGaugeFunc(gaugeTraceBuffered, func() float64 {
+		return float64(s.traces.Len())
 	})
 }
 
@@ -297,6 +354,11 @@ func (s *Server) loadRules() {
 // Farm exposes the server's wrapper farm (rule inspection, manual
 // saves, test-driven revalidation).
 func (s *Server) Farm() *farm.Farm { return s.farm }
+
+// Traces exposes the server's tail-sampling trace sink, so a cluster
+// coordinator on the same node can record its routing half of each
+// trace into the same buffer.
+func (s *Server) Traces() *obs.TraceSink { return s.traces }
 
 // Run drives the farm's background work — drift-sample revalidation
 // and periodic store flushes — until ctx is cancelled. cmd/ominiserve
@@ -333,6 +395,7 @@ type reqInfo struct {
 	fromRule   bool
 	confidence float64
 	filled     bool
+	errMsg     string
 }
 
 type reqInfoKey struct{}
@@ -357,6 +420,30 @@ func (ri *reqInfo) fill(site string, res *core.Result, fromRule bool) {
 	ri.objects = len(res.Objects)
 	ri.fromRule = fromRule
 	ri.confidence = res.Confidence()
+}
+
+// setSite records the requested site before the outcome is known, so
+// failed requests still carry it in the log line and trace summary.
+func (ri *reqInfo) setSite(site string) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.site = site
+	ri.mu.Unlock()
+}
+
+// fail records the error message a failed request returned. First
+// write wins: the original failure, not a later fallback's.
+func (ri *reqInfo) fail(msg string) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	if ri.errMsg == "" {
+		ri.errMsg = msg
+	}
+	ri.mu.Unlock()
 }
 
 // statusWriter captures the response status for metrics and the access log.
@@ -399,6 +486,8 @@ func requestSeries(path string) string {
 		return seriesReqStatsz
 	case path == "/metricsz":
 		return seriesReqMetricsz
+	case path == "/tracez":
+		return seriesReqTracez
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return seriesReqPprof
 	default:
@@ -410,20 +499,60 @@ func requestSeries(path string) string {
 // than Info, so scrapers and probes don't flood the log.
 func operational(path string) bool {
 	return path == "/healthz" || path == "/readyz" || path == "/rulesz" ||
-		path == "/statsz" || path == "/metricsz" ||
+		path == "/statsz" || path == "/metricsz" || path == "/tracez" ||
 		strings.HasPrefix(path, "/debug/pprof")
+}
+
+// traceable marks the endpoints whose requests are candidates for
+// distributed tracing: the extraction paths. Probes and inspection
+// endpoints are never traced — their spans would only churn the sink.
+func traceable(r *http.Request) bool {
+	return r.Method == http.MethodPost &&
+		(r.URL.Path == "/extract" || r.URL.Path == "/records")
 }
 
 // withObs threads the metrics registry into the request context (so the
 // pipeline's phase spans land in this server's registry), times the
 // request, counts it, and emits one structured access-log line carrying
 // the handler's decision summary.
+//
+// It is also the tracing middleware: a sampled request gets a trace
+// recorder and a "handler" root span in its context (continuing the
+// X-Omini-Trace header's trace when a coordinator forwarded one), the
+// trace ID is echoed in the response's X-Omini-Trace header and stamped
+// into the log line and the latency histogram's exemplar, and the
+// finished span tree is recorded into the tail-sampling sink.
 func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ri := &reqInfo{}
 		ctx := obs.WithRegistry(r.Context(), s.stats)
 		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+
+		// An inbound header carries the upstream hop's sampling decision
+		// for the whole request; without one, local requests to the
+		// extraction endpoints decide here (?trace=1 always traces).
+		sc, scErr := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		var sampled bool
+		if scErr == nil && sc.Valid() {
+			sampled = sc.Sampled
+		} else if traceable(r) {
+			sampled = wantTrace(r) || s.sampler.Sample()
+		}
+		var rec *obs.TraceRecorder
+		var root *obs.Span
+		if sampled {
+			// Allocation sampling stays off on the serving path; wall
+			// times and span structure are the useful parts under traffic.
+			ctx, rec = obs.StartTrace(ctx, sc, false)
+			ctx, root = obs.StartSpan(ctx, "handler")
+			s.stats.Add(seriesTraceSampled, 1)
+			// Set before the handler writes: the header doubles as the
+			// trace-ID channel for the recovery middleware, which sits
+			// outside this one and cannot see the request context.
+			w.Header().Set(obs.TraceHeader, root.Context().Header())
+		}
+
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 
@@ -436,13 +565,22 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		if status >= 500 {
 			s.stats.Add(seriesErrors, 1)
 		}
-		s.stats.Observe(requestSeries(r.URL.Path), elapsed.Seconds())
+		if rec != nil {
+			root.End()
+			s.stats.ObserveExemplar(requestSeries(r.URL.Path), elapsed.Seconds(), rec.TraceID().String())
+			s.recordTrace(rec, r, ri, status, elapsed)
+		} else {
+			s.stats.Observe(requestSeries(r.URL.Path), elapsed.Seconds())
+		}
 
 		kv := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", status,
 			"durMs", float64(elapsed.Microseconds()) / 1000,
+		}
+		if rec != nil {
+			kv = append(kv, "trace", rec.TraceID().String())
 		}
 		ri.mu.Lock()
 		if ri.filled {
@@ -455,6 +593,9 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 				"confidence", ri.confidence,
 			)
 		}
+		if ri.errMsg != "" {
+			kv = append(kv, "err", ri.errMsg)
+		}
 		ri.mu.Unlock()
 		if operational(r.URL.Path) {
 			s.log.Debug("request", kv...)
@@ -462,6 +603,35 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 			s.log.Info("request", kv...)
 		}
 	})
+}
+
+// recordTrace folds one finished traced request into the tail-sampling
+// sink behind /tracez.
+func (s *Server) recordTrace(rec *obs.TraceRecorder, r *http.Request, ri *reqInfo, status int, elapsed time.Duration) {
+	attrs := rec.Attrs()
+	t := &obs.TraceData{
+		TraceSummary: obs.TraceSummary{
+			TraceID:    rec.TraceID().String(),
+			Op:         r.URL.Path,
+			Path:       attrs["path"],
+			Status:     status,
+			StartedAt:  rec.Start(),
+			DurationNS: elapsed.Nanoseconds(),
+		},
+		Attrs:   attrs,
+		Charges: rec.Charges(),
+		Spans:   rec.Spans(),
+	}
+	t.SpanCount = len(t.Spans)
+	ri.mu.Lock()
+	t.Site = ri.site
+	t.Error = ri.errMsg
+	ri.mu.Unlock()
+	evicted := s.traces.Record(t)
+	s.stats.Add(seriesTraceStored, 1)
+	if evicted > 0 {
+		s.stats.Add(seriesTraceEvicted, int64(evicted))
+	}
 }
 
 // withRecovery converts handler panics into JSON 500s: one pathological
@@ -479,13 +649,21 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 				panic(rec)
 			}
 			s.stats.Add(seriesPanics, 1)
+			// Recovery sits outside the tracing middleware; the request
+			// context is gone, but withObs echoed the trace identity into
+			// the response header before the handler ran.
+			var tid string
+			if sc, err := obs.ParseTraceHeader(w.Header().Get(obs.TraceHeader)); err == nil && sc.Valid() {
+				tid = sc.TraceID.String()
+			}
 			s.log.Error("recovered panic",
 				"method", r.Method,
 				"path", r.URL.Path,
+				"trace", tid,
 				"panic", fmt.Sprint(rec),
 				"stack", string(debug.Stack()),
 			)
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			writeErrorID(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec), tid)
 		}()
 		next.ServeHTTP(w, r)
 	})
@@ -500,7 +678,7 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 		if !s.limiter.TryAcquire() {
 			s.stats.Add(seriesShed, 1)
 			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-			writeError(w, http.StatusTooManyRequests, "server at capacity")
+			writeError(r.Context(), w, http.StatusTooManyRequests, "server at capacity")
 			return
 		}
 		defer s.limiter.Release()
@@ -596,14 +774,15 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	if wantTrace(r) {
-		// Allocation sampling stays off on the serving path; wall times
-		// and rankings are the useful parts under traffic.
-		ctx, _ = obs.WithTraceRecorder(ctx, false)
-	}
-	res, fromRule, err := s.extract(ctx, site, html)
+	infoFrom(ctx).setSite(site)
+	var res *core.Result
+	var fromRule bool
+	var err error
+	rpprof.Do(ctx, rpprof.Labels("site", site), func(pctx context.Context) {
+		res, fromRule, err = s.extract(pctx, site, html)
+	})
 	if err != nil {
-		httpError(w, err)
+		httpError(ctx, w, err)
 		return
 	}
 	infoFrom(ctx).fill(site, res, fromRule)
@@ -613,7 +792,11 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		Separator:   res.Separator,
 		Confidence:  res.Confidence(),
 		FromRule:    fromRule,
-		Trace:       res.Trace,
+	}
+	if wantTrace(r) {
+		// The inline trace ships only on request; sampled requests that
+		// did not ask still reach /tracez by trace ID.
+		resp.Trace = res.Trace
 	}
 	if res.Tree != nil {
 		if next, ok := nav.FindNext(res.Tree); ok {
@@ -638,13 +821,23 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx := r.Context()
 	if site == "" {
-		writeError(w, http.StatusBadRequest, "records endpoint requires ?site=")
+		writeError(ctx, w, http.StatusBadRequest, "records endpoint requires ?site=")
 		return
 	}
+	infoFrom(ctx).setSite(site)
+	rpprof.Do(ctx, rpprof.Labels("site", site), func(pctx context.Context) {
+		s.serveRecords(pctx, w, site, html)
+	})
+}
+
+// serveRecords is handleRecords' extraction body, split out so it runs
+// under the site pprof label.
+func (s *Server) serveRecords(ctx context.Context, w http.ResponseWriter, site, html string) {
 	wrapper, err := s.wrapperFor(site, html)
 	if err != nil {
-		httpError(w, err)
+		httpError(ctx, w, err)
 		return
 	}
 	// Wrapper evolution: a page that no longer resembles the training page
@@ -659,26 +852,26 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		// The cached wrapper no longer matches; relearn once.
 		wrapper, err = s.relearnWrapper(site, html)
 		if err != nil {
-			httpError(w, err)
+			httpError(ctx, w, err)
 			return
 		}
 		if records, err = wrapper.Extract(html); err != nil {
-			httpError(w, err)
+			httpError(ctx, w, err)
 			return
 		}
 	}
 	writeJSON(w, recordResponse{Site: site, Fields: wrapper.Fields, Records: records})
 }
 
-func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	// The legacy array format, so dumps keep working as -rules seeds.
 	st := rules.NewStore()
-	for _, r := range s.farm.Rules() {
-		_ = st.Put(r.Rule)
+	for _, sr := range s.farm.Rules() {
+		_ = st.Put(sr.Rule)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := st.WriteTo(w); err != nil {
-		httpError(w, err)
+		httpError(r.Context(), w, err)
 	}
 }
 
@@ -724,6 +917,35 @@ func (s *Server) handleRulesz(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	writeJSON(w, resp)
+}
+
+// tracezResponse is the /tracez list payload.
+type tracezResponse struct {
+	// Capacity is the sink's bound; Stored is how many traces it holds.
+	Capacity int `json:"capacity"`
+	Stored   int `json:"stored"`
+	// Traces are the stored trace summaries, newest first.
+	Traces []obs.TraceSummary `json:"traces"`
+}
+
+// handleTracez serves the tail-sampled trace buffer: the summary list
+// by default, one full trace (span tree, attributes, governor charges)
+// with ?id=<traceId>.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		t, ok := s.traces.Get(id)
+		if !ok {
+			writeError(r.Context(), w, http.StatusNotFound, "trace not found: "+id)
+			return
+		}
+		writeJSON(w, t)
+		return
+	}
+	writeJSON(w, tracezResponse{
+		Capacity: s.traces.Capacity(),
+		Stored:   s.traces.Len(),
+		Traces:   s.traces.List(),
+	})
 }
 
 // extract serves through the wrapper farm: cached-rule fast path on a
@@ -778,16 +1000,16 @@ func (s *Server) relearnWrapper(site, html string) (*wrapgen.Wrapper, error) {
 func (s *Server) readPage(w http.ResponseWriter, r *http.Request) (html, site string, ok bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		writeError(r.Context(), w, http.StatusBadRequest, "read body: "+err.Error())
 		return "", "", false
 	}
 	if int64(len(body)) > s.cfg.MaxBodyBytes {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(r.Context(), w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("body exceeds %d-byte limit", s.cfg.MaxBodyBytes))
 		return "", "", false
 	}
 	if len(body) == 0 {
-		writeError(w, http.StatusBadRequest, "empty body")
+		writeError(r.Context(), w, http.StatusBadRequest, "empty body")
 		return "", "", false
 	}
 	return string(body), r.URL.Query().Get("site"), true
@@ -804,19 +1026,31 @@ func writeJSON(w http.ResponseWriter, v any) {
 type errorResponse struct {
 	Error  string `json:"error"`
 	Status int    `json:"status"`
+	// TraceID correlates the failure with its /tracez record, access-log
+	// line and histogram exemplars, when the request was traced.
+	TraceID string `json:"traceId,omitempty"`
 }
 
-// writeError sends a structured JSON error with the given status.
-func writeError(w http.ResponseWriter, status int, msg string) {
+// writeError sends a structured JSON error with the given status,
+// stamping the context's trace ID (when traced) into the body and the
+// request's log summary.
+func writeError(ctx context.Context, w http.ResponseWriter, status int, msg string) {
+	infoFrom(ctx).fail(msg)
+	writeErrorID(w, status, msg, obs.TraceIDStringFrom(ctx))
+}
+
+// writeErrorID is writeError with an explicit trace ID, for callers —
+// the recovery middleware — that no longer hold the traced context.
+func writeErrorID(w http.ResponseWriter, status int, msg, traceID string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(errorResponse{Error: msg, Status: status})
+	_ = enc.Encode(errorResponse{Error: msg, Status: status, TraceID: traceID})
 }
 
 // httpError maps extraction failures to status codes.
-func httpError(w http.ResponseWriter, err error) {
+func httpError(ctx context.Context, w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var lim *govern.ErrLimitExceeded
 	switch {
@@ -837,5 +1071,5 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrRuleMismatch):
 		status = http.StatusConflict
 	}
-	writeError(w, status, err.Error())
+	writeError(ctx, w, status, err.Error())
 }

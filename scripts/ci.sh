@@ -180,6 +180,34 @@ if [ "$FARM_SMOKE" != "0" ]; then
         exit 1
     }
     echo "    hit rate: $hits/$((hits + misses)), fast p50 ${fast_p50}s vs slow p50 ${slow_p50}s"
+    # Distributed tracing rides the same live server: the 150 requests
+    # above were all sampled (default -trace-sample 1.0), so /tracez
+    # must hold both farm paths — the first request per host traced the
+    # slow (discovery) path, the replays the fast path — and a trace
+    # fetched by ID must carry its handler root span.
+    traces=$(curl -sf "http://$addr/tracez")
+    echo "$traces" | grep -q '"path": "fast"' || {
+        echo "/tracez holds no fast-path trace" >&2
+        echo "$traces" | head -n 20 >&2
+        exit 1
+    }
+    echo "$traces" | grep -q '"path": "slow"' || {
+        echo "/tracez holds no slow-path trace" >&2
+        echo "$traces" | head -n 20 >&2
+        exit 1
+    }
+    tid=$(echo "$traces" | sed -n 's/.*"traceId": "\([0-9a-f]\{32\}\)".*/\1/p' | head -n 1)
+    if [ -z "$tid" ]; then
+        echo "/tracez summaries carry no well-formed 32-hex traceId" >&2
+        exit 1
+    fi
+    trace_detail=$(curl -sf "http://$addr/tracez?id=$tid")
+    echo "$trace_detail" | grep -q '"name": "handler"' || {
+        echo "/tracez?id=$tid lacks the handler root span" >&2
+        echo "$trace_detail" | head -n 20 >&2
+        exit 1
+    }
+    echo "    tracez: fast + slow path traces present, $tid has a span tree"
     kill "$srv_pid"
     wait "$srv_pid" 2>/dev/null || true
     grep -q '"version": 1' "$tmpdir/rules.json" || {
