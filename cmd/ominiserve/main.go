@@ -61,6 +61,15 @@
 //
 //	ominiserve -addr :8800 -cluster -node-id a \
 //	    -peers 'a=http://10.0.0.1:8800,b=http://10.0.0.2:8800,c=http://10.0.0.3:8800'
+//
+// Clustered nodes also replicate learned rules so failover is warm: on
+// start (and re-admission) a node pulls its peers' rules before /readyz
+// flips (-sync-on-join; bounded, degrades to learn-on-miss), and a
+// background anti-entropy loop (-antientropy-interval) reconciles
+// divergent rule versions cluster-wide — highest version wins, and
+// drift evictions propagate as tombstones so a stale peer cannot
+// resurrect a dead rule. GET /rulesz?view=digest and ?view=sync are the
+// replication wire surface.
 package main
 
 import (
@@ -79,6 +88,7 @@ import (
 	"omini/internal/cluster"
 	"omini/internal/core"
 	"omini/internal/obs"
+	"omini/internal/ruledist"
 	"omini/internal/serve"
 )
 
@@ -99,6 +109,8 @@ func main() {
 		peers      = flag.String("peers", "", "cluster members as id=url pairs, comma-separated (e.g. 'a=http://h1:8800,b=http://h2:8800')")
 		nodeID     = flag.String("node-id", "", "this node's id among -peers (empty = pure coordinator)")
 		probeIvl   = flag.Duration("probe-interval", time.Second, "cluster health-check period")
+		syncJoin   = flag.Bool("sync-on-join", true, "pull learned rules from peers before flipping /readyz (cluster mode)")
+		aeIvl      = flag.Duration("antientropy-interval", 30*time.Second, "background rule anti-entropy sync period (negative = disabled)")
 
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of extraction requests distributed-traced (0 = none; ?trace=1 always traces)")
 		tracezCap   = flag.Int("tracez-capacity", obs.DefaultTraceCapacity, "traces kept for GET /tracez (errored and slowest pinned)")
@@ -121,6 +133,22 @@ func main() {
 	if sampleRate <= 0 {
 		sampleRate = -1
 	}
+	// Peers parse before serve.New: whether /readyz defers on a join
+	// sync depends on there being someone to sync from.
+	var peerMap map[string]string
+	if *clustered {
+		var err error
+		peerMap, err = parsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ominiserve:", err)
+			os.Exit(1)
+		}
+	}
+	otherPeers := len(peerMap)
+	if _, ok := peerMap[*nodeID]; ok {
+		otherPeers--
+	}
+	deferReady := *clustered && *syncJoin && otherPeers > 0
 	srv := serve.New(serve.Config{
 		MaxBodyBytes:    *maxBytes,
 		MaxInFlight:     *inflight,
@@ -132,6 +160,7 @@ func main() {
 		RelearnInterval: *relearnIvl,
 		TraceSampleRate: sampleRate,
 		TraceCapacity:   *tracezCap,
+		DeferReady:      deferReady,
 	})
 	// The farm's background loop: drift-sample revalidation plus
 	// periodic rule-store flushes. It stops with the signal context;
@@ -140,10 +169,25 @@ func main() {
 
 	var handler http.Handler = srv
 	if *clustered {
-		peerMap, err := parsePeers(*peers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ominiserve:", err)
-			os.Exit(1)
+		// The rule-replication layer: a join-time warm-up pull before
+		// /readyz flips, a low-rate background anti-entropy loop, and an
+		// immediate round whenever the prober re-admits a peer (its rules
+		// may have moved while it was out).
+		var repl *ruledist.Replicator
+		if otherPeers > 0 {
+			var err error
+			repl, err = ruledist.New(ruledist.Config{
+				Self:     *nodeID,
+				Peers:    peerMap,
+				Farm:     srv.Farm(),
+				Interval: *aeIvl,
+				Logger:   logger,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ominiserve:", err)
+				os.Exit(1)
+			}
+			go func() { _ = repl.Run(ctx) }()
 		}
 		coord := cluster.New(cluster.Config{
 			Self:          *nodeID,
@@ -156,10 +200,25 @@ func main() {
 			// server's handler half of a self-served trace merge on /tracez.
 			Traces:          srv.Traces(),
 			TraceSampleRate: sampleRate,
+			OnReadmission: func(string) {
+				if repl != nil {
+					repl.Kick()
+				}
+			},
 		})
 		go func() { _ = coord.Run(ctx) }()
+		if deferReady {
+			// Warm up before taking shard traffic: pull previously-learned
+			// rules from ring peers, then flip /readyz whatever happened —
+			// a failed or budget-expired sync degrades to learn-on-miss.
+			go func() {
+				_ = repl.SyncOnJoin(ctx)
+				srv.MarkReady()
+			}()
+		}
 		handler = coord
-		logger.Info("cluster mode", "self", *nodeID, "peers", len(peerMap))
+		logger.Info("cluster mode", "self", *nodeID, "peers", len(peerMap),
+			"sync_on_join", deferReady)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

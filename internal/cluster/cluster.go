@@ -110,6 +110,13 @@ type Config struct {
 	// coordinator's decision is forwarded in the X-Omini-Trace header,
 	// so the serving node never samples independently.
 	TraceSampleRate float64
+	// OnReadmission, when set, is called (outside the membership lock,
+	// once per transition) with a node's id each time the health
+	// checker re-admits it to the ring after an ejection. ominiserve
+	// hooks the ruledist replicator here: a node coming back has been
+	// missing writes, so a sync round is due immediately, not at the
+	// next anti-entropy tick.
+	OnReadmission func(id string)
 }
 
 // member is the coordinator's view of one cluster node. Mutable state

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -364,5 +365,78 @@ func TestForwardedRequestsServeLocally(t *testing.T) {
 	}
 	if got := stats.Get(SeriesProxied); got != 0 {
 		t.Errorf("forwarded request was proxied (%d hops); must serve locally", got)
+	}
+}
+
+// TestOnReadmissionCallback: a node coming back from ejection fires the
+// readmission hook — once per transition, with the node's id, after the
+// ring already includes it again (so a rule-sync handler sees the new
+// topology).
+func TestOnReadmissionCallback(t *testing.T) {
+	var down atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer flaky.Close()
+
+	var mu sync.Mutex
+	var fired []string
+	stats := resilience.NewStats()
+	var c *Coordinator
+	c = New(Config{
+		Peers:         map[string]string{"flaky": flaky.URL},
+		Local:         serve.New(serve.Config{Stats: resilience.NewStats()}),
+		Stats:         stats,
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		FailThreshold: 2,
+		OnReadmission: func(id string) {
+			mu.Lock()
+			defer mu.Unlock()
+			// The callback contract: the ring rebuild precedes the hook.
+			if !clusterzHealthy(t, c)[id] {
+				t.Errorf("OnReadmission(%s) fired before the node was healthy in /clusterz", id)
+			}
+			fired = append(fired, id)
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = c.Run(ctx) }()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	down.Store(true)
+	waitFor("ejection", func() bool { return stats.Get(SeriesEjections) >= 1 })
+	down.Store(false)
+	waitFor("readmission callback", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(fired) >= 1
+	})
+	cancel()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if fired[0] != "flaky" {
+		t.Fatalf("OnReadmission got %q, want flaky", fired[0])
+	}
+	if len(fired) != int(stats.Get(SeriesReadmissions)) {
+		t.Fatalf("callback fired %d times for %d readmissions",
+			len(fired), stats.Get(SeriesReadmissions))
 	}
 }

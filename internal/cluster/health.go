@@ -46,6 +46,7 @@ func (c *Coordinator) probeAll(ctx context.Context, g *govern.Guard) {
 	c.mu.RUnlock()
 
 	changed := false
+	var readmitted []string
 	for _, m := range targets {
 		if err := g.Poll(); err != nil {
 			return
@@ -68,6 +69,7 @@ func (c *Coordinator) probeAll(ctx context.Context, g *govern.Guard) {
 			if !m.healthy {
 				m.healthy = true
 				changed = true
+				readmitted = append(readmitted, m.id)
 				c.stats.Add(SeriesReadmissions, 1)
 				c.log.Info("cluster member readmitted", "node", m.id)
 			}
@@ -80,6 +82,16 @@ func (c *Coordinator) probeAll(ctx context.Context, g *govern.Guard) {
 		c.mu.Lock()
 		c.ring = c.rebuildLocked(g)
 		c.mu.Unlock()
+	}
+	// Callbacks run after the ring rebuild and outside the lock, so a
+	// handler that routes (or syncs rules) sees the new topology.
+	if c.cfg.OnReadmission != nil {
+		for _, id := range readmitted {
+			if err := g.Poll(); err != nil {
+				return
+			}
+			c.cfg.OnReadmission(id)
+		}
 	}
 }
 

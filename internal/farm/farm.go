@@ -139,6 +139,11 @@ type Farm struct {
 
 	samples chan sample
 
+	// tombs remembers deliberately evicted rules (site → highest killed
+	// version) so anti-entropy sync cannot resurrect them; see sync.go.
+	tombMu sync.Mutex
+	tombs  map[string]Tombstone
+
 	dirty      atomic.Bool
 	storeBytes atomic.Int64
 	saveMu     sync.Mutex
@@ -183,6 +188,7 @@ func New(cfg Config) (*Farm, error) {
 		log:     cfg.Logger,
 		flights: make(map[string]*flight),
 		samples: make(chan sample, cfg.SampleQueue),
+		tombs:   make(map[string]Tombstone),
 	}
 	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
 	f.shards = make([]*shard, cfg.Shards)
@@ -225,6 +231,15 @@ func (f *Farm) seedFile(g *govern.Guard, path string, allowMissing bool) error {
 		}
 		return err
 	}
+	// Tombstones first: a snapshot is already reconciled (no site holds
+	// both a rule and a tombstone), but insert consults the tombstone
+	// set, so the order keeps the invariant obvious.
+	for _, t := range snap.Tombstones {
+		if err := g.Poll(); err != nil {
+			return err
+		}
+		f.rememberTomb(t)
+	}
 	n := 0
 	for _, r := range snap.Rules {
 		if err := g.Poll(); err != nil {
@@ -233,7 +248,7 @@ func (f *Farm) seedFile(g *govern.Guard, path string, allowMissing bool) error {
 		f.insert(r.Rule, r.Signature, r.Hits)
 		n++
 	}
-	f.log.Info("farm: rule store loaded", "path", path, "rules", n)
+	f.log.Info("farm: rule store loaded", "path", path, "rules", n, "tombstones", len(snap.Tombstones))
 	return nil
 }
 
@@ -267,6 +282,10 @@ func (f *Farm) serveFast(ctx context.Context, site, html string, e *entry) (*cor
 	}
 	f.stats.Add(SeriesStale, 1)
 	f.shardFor(site).remove(site)
+	// The eviction is knowledge worth replicating: without a tombstone a
+	// peer still holding this version would hand the dead rule straight
+	// back on the next anti-entropy round.
+	f.entomb(site, e.rule.Version)
 	res, out, err := f.learnVersioned(ctx, site, html, e.rule.Version)
 	if err == nil {
 		f.stats.Add(SeriesRelearn, 1)
@@ -292,6 +311,11 @@ func (f *Farm) learnOrJoin(ctx context.Context, site, html string) (*core.Result
 	if err == nil {
 		fl.rule = res.Rule(site)
 		fl.rule.Version = 1
+		// A tombstone may have pushed the stored version higher; joiners
+		// replay whatever version actually landed in the cache.
+		if cur, ok := f.Get(site); ok {
+			fl.rule.Version = cur.Version
+		}
 	}
 	fl.err = err
 	f.flightMu.Lock()
@@ -324,11 +348,15 @@ func (f *Farm) join(ctx context.Context, fl *flight, site, html string) (*core.R
 }
 
 // learnVersioned runs full discovery, stores the rule at
-// prevVersion+1, and records slow-path latency.
+// prevVersion+1 (raised past any tombstone, so a fresh learn always
+// supersedes a remembered eviction), and records slow-path latency.
 func (f *Farm) learnVersioned(ctx context.Context, site, html string, prevVersion int) (*core.Result, Outcome, error) {
 	res, err := f.discover(ctx, html)
 	if err != nil {
 		return nil, Outcome{}, err
+	}
+	if tv := f.tombVersion(site); tv > prevVersion {
+		prevVersion = tv
 	}
 	rule := res.Rule(site)
 	rule.Version = prevVersion + 1
@@ -382,31 +410,44 @@ func (f *Farm) discover(ctx context.Context, html string) (*core.Result, error) 
 	return res, nil
 }
 
-// insert stores a rule (with its training signature) in the cache.
-func (f *Farm) insert(rule rules.Rule, sig tagtree.Signature, hits int64) {
+// insert stores a rule (with its training signature) in the cache,
+// reporting whether it was admitted. A tombstone at or above the
+// rule's version keeps the site dead (the eviction is newer
+// knowledge); a rule above the tombstone clears it.
+func (f *Farm) insert(rule rules.Rule, sig tagtree.Signature, hits int64) bool {
 	if rule.Site == "" || !rule.Valid() {
-		return
+		return false
 	}
 	if rule.Version <= 0 {
 		rule.Version = 1
 	}
+	if !f.clearTomb(rule.Site, rule.Version) {
+		return false
+	}
 	e := &entry{rule: rule, sig: sig}
 	e.hits.count = hits
 	f.shardFor(rule.Site).put(rule.Site, e)
+	return true
 }
 
 // Put stores an externally learned rule (e.g. from wrapper learning)
-// with its training signature, marking the store dirty.
+// with its training signature, marking the store dirty. An
+// unversioned rule lands one past the current rule or tombstone
+// version, whichever is higher.
 func (f *Farm) Put(rule rules.Rule, sig tagtree.Signature) {
 	if rule.Version <= 0 {
+		prev := 0
 		if cur, ok := f.Get(rule.Site); ok {
-			rule.Version = cur.Version + 1
-		} else {
-			rule.Version = 1
+			prev = cur.Version
 		}
+		if tv := f.tombVersion(rule.Site); tv > prev {
+			prev = tv
+		}
+		rule.Version = prev + 1
 	}
-	f.insert(rule, sig, 0)
-	f.dirty.Store(true)
+	if f.insert(rule, sig, 0) {
+		f.dirty.Store(true)
+	}
 }
 
 // Get returns the cached rule for a site without bumping recency
@@ -426,10 +467,14 @@ func (f *Farm) Get(site string) (rules.Rule, bool) {
 }
 
 // Invalidate drops a site's cached rule, reporting whether one was
-// cached.
+// cached. The eviction is entombed so replication cannot undo it.
 func (f *Farm) Invalidate(site string) bool {
+	cur, had := f.Get(site)
 	removed := f.shardFor(site).remove(site)
 	if removed {
+		if had {
+			f.entomb(site, cur.Version)
+		}
 		f.dirty.Store(true)
 	}
 	return removed
@@ -529,6 +574,9 @@ func (f *Farm) revalidateOne(ctx context.Context, s sample) {
 	f.log.Warn("farm: layout drift detected; relearning",
 		"site", s.site, "drift", drift, "ruleVersion", s.version)
 	f.shardFor(s.site).remove(s.site)
+	// Drift-evicted rules propagate as tombstones: a peer that has not
+	// seen the redesign yet must not hand the dead rule back.
+	f.entomb(s.site, s.version)
 	if _, _, err := f.learnVersioned(ctx, s.site, s.html, s.version); err != nil {
 		f.stats.Add(SeriesRelearnFailures, 1)
 		f.log.Error("farm: relearn after drift failed", "site", s.site, "err", err.Error())
@@ -607,7 +655,11 @@ func (f *Farm) Save() error {
 	if err != nil {
 		return err
 	}
-	n, err := SaveSnapshot(f.cfg.StorePath, Snapshot{Version: SnapshotVersion, Rules: list})
+	n, err := SaveSnapshot(f.cfg.StorePath, Snapshot{
+		Version:    SnapshotVersion,
+		Rules:      list,
+		Tombstones: f.Tombstones(),
+	})
 	if err != nil {
 		return err
 	}

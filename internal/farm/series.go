@@ -53,9 +53,12 @@ const (
 	seriesSlowSeconds = `farm.path_seconds{path="slow"}`
 
 	// gaugeRules is the number of cached rules; gaugeStoreBytes is the
-	// size of the last persisted snapshot (0 until the first save).
+	// size of the last persisted snapshot (0 until the first save);
+	// gaugeTombstones is the number of remembered evictions the
+	// anti-entropy layer propagates.
 	gaugeRules      = "farm.rules"
 	gaugeStoreBytes = "farm.store_bytes"
+	gaugeTombstones = "farm.tombstones"
 )
 
 // registerMetrics pre-touches every series this package emits, so a
@@ -78,5 +81,8 @@ func (f *Farm) registerMetrics() {
 	})
 	f.stats.RegisterGaugeFunc(gaugeStoreBytes, func() float64 {
 		return float64(f.storeBytes.Load())
+	})
+	f.stats.RegisterGaugeFunc(gaugeTombstones, func() float64 {
+		return float64(f.TombstoneCount())
 	})
 }

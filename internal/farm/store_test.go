@@ -132,6 +132,8 @@ func FuzzSnapshotCodec(f *testing.F) {
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`[{"site":"a","subtreePath":"html[1]","separator":"li"}]`))
 	f.Add([]byte(`{"version":1,"rules":[{"site":"s.example","subtreePath":"html[1].body[1]","separator":"tr","version":2,"hits":7,"signature":{"html":1}}]}`))
+	f.Add([]byte(`{"version":2,"rules":[],"tombstones":[{"site":"gone.example","version":3,"evictedAt":"2026-08-03T00:00:00Z"}]}`))
+	f.Add([]byte(`{"version":2,"rules":[{"site":"both.example","subtreePath":"html[1]","separator":"li","version":2}],"tombstones":[{"site":"both.example","version":2},{"site":"both.example","version":1}]}`))
 	f.Add([]byte("{"))
 	f.Add([]byte("null"))
 	// Seed with a real learned rule: discovery over a deterministic

@@ -8,9 +8,10 @@ import (
 
 // governedPackages are the packages whose hot loops run under the
 // resource governor (DESIGN.md §10): the seven phase packages plus the
-// cluster routing layer, whose ring walks and probe sweeps run on the
-// serving path. governloop scopes itself by final path segment so the
-// rule applies equally to the real module and to fixture trees.
+// cluster routing and rule-replication layers, whose ring walks, probe
+// sweeps and sync rounds run on or beside the serving path. governloop
+// scopes itself by final path segment so the rule applies equally to
+// the real module and to fixture trees.
 var governedPackages = map[string]bool{
 	"htmlparse": true,
 	"tidy":      true,
@@ -21,6 +22,7 @@ var governedPackages = map[string]bool{
 	"extract":   true,
 	"cluster":   true,
 	"farm":      true,
+	"ruledist":  true,
 }
 
 // guardChargeMethods are the govern.Guard methods that charge a budget

@@ -31,10 +31,11 @@ var seriesGrammar = regexp.MustCompile(`^[a-z0-9][a-z0-9_.]*(\{[a-z0-9_]+="[^"{}
 // the boot pre-registration set, so /metricsz exposes every series from
 // process start instead of only after first use.
 var preregPackages = map[string]bool{
-	"serve":   true,
-	"core":    true,
-	"cluster": true,
-	"farm":    true,
+	"serve":    true,
+	"core":     true,
+	"cluster":  true,
+	"farm":     true,
+	"ruledist": true,
 }
 
 // phaseSeriesName mirrors obs.PhaseSeries for pre-registration

@@ -1,0 +1,26 @@
+// Package ruledist exercises obsnames on the rule-replication layer:
+// as a pre-registration package, every ruledist.* series it emits must
+// be constant, grammatical, and present in registerMetrics.
+package ruledist
+
+import "fixture/internal/obs"
+
+const (
+	seriesRounds      = "ruledist.rounds"
+	seriesRulesPulled = "ruledist.rules_pulled"
+	seriesCorrupt     = "ruledist.corrupt_discarded"
+)
+
+func registerMetrics(r *obs.Registry) {
+	r.Counter(seriesRounds)
+	r.Counter(seriesRulesPulled)
+}
+
+func emit(r *obs.Registry, peer string) {
+	r.Add(seriesRounds, 1)
+	r.Add(seriesRulesPulled, 1)
+	r.Add(seriesCorrupt, 1)         // want "missing from the boot pre-registration set"
+	r.Add("ruledist.peer."+peer, 1) // want "must be a compile-time constant"
+	r.Add("ruledist.{bad_peer}", 1) // want "does not match the registry grammar"
+	r.Add("ruledist.Tombstones", 1) // want "does not match the registry grammar"
+}

@@ -1,0 +1,327 @@
+package ruledist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"omini/internal/cluster"
+	"omini/internal/farm"
+	"omini/internal/resilience"
+	"omini/internal/serve"
+	"omini/internal/sitegen"
+)
+
+// chaosNode is one full cluster member: extraction server, replicator,
+// coordinator, all served on a real TCP listener so it can be killed
+// and restarted on the same address.
+type chaosNode struct {
+	id     string
+	addr   string
+	stats  *resilience.Stats
+	srv    *serve.Server
+	repl   *Replicator
+	hs     *http.Server
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// startChaosNode boots a member on addr. With warmJoin the node holds
+// /readyz until its join sync finishes — the warm re-admission path.
+func startChaosNode(t *testing.T, id, addr string, peers map[string]string, warmJoin bool) *chaosNode {
+	t.Helper()
+	stats := resilience.NewStats()
+	srv := serve.New(serve.Config{Stats: stats, Logger: quietLogger(), DeferReady: warmJoin})
+	repl, err := New(Config{
+		Self:     id,
+		Peers:    peers,
+		Farm:     srv.Farm(),
+		Interval: -1, // rounds are join- and kick-driven in this test
+		Stats:    stats,
+		Logger:   quietLogger(),
+		Breaker:  resilience.BreakerConfig{FailureThreshold: 3, Cooldown: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	coord := cluster.New(cluster.Config{
+		Self:          id,
+		Peers:         peers,
+		Local:         srv,
+		Stats:         stats,
+		Logger:        quietLogger(),
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		FailThreshold: 2,
+		NodeAttempts:  2,
+		RetryBase:     time.Millisecond,
+		RetryMaxDelay: 4 * time.Millisecond,
+		OnReadmission: func(string) { repl.Kick() },
+	})
+	go func() { _ = coord.Run(ctx) }()
+	go func() { _ = repl.Run(ctx) }()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cancel()
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	n := &chaosNode{
+		id: id, addr: ln.Addr().String(), stats: stats, srv: srv, repl: repl,
+		hs: &http.Server{Handler: coord}, cancel: cancel, done: make(chan struct{}),
+	}
+	go func() { defer close(n.done); _ = n.hs.Serve(ln) }()
+	if warmJoin {
+		go func() {
+			_ = repl.SyncOnJoin(ctx)
+			srv.MarkReady()
+		}()
+	}
+	t.Cleanup(func() { n.kill(t) })
+	return n
+}
+
+// kill tears the node down hard: listener closed, in-flight cut,
+// background loops cancelled. Idempotent.
+func (n *chaosNode) kill(t *testing.T) {
+	t.Helper()
+	n.cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = n.hs.Shutdown(ctx)
+	<-n.done
+}
+
+// warmSpecs returns the eight learned sites of the proof across
+// distinct layout families.
+func warmSpecs() []sitegen.SiteSpec {
+	layouts := []string{
+		"ul-record", "row-table", "dl-record", "item-table",
+		"para-record", "div-card", "hr-record", "font-catalog",
+	}
+	specs := make([]sitegen.SiteSpec, len(layouts))
+	for i, layout := range layouts {
+		specs[i] = sitegen.SiteSpec{
+			Name:       fmt.Sprintf("warm-%c.example", 'a'+i),
+			Domain:     sitegen.DomainBooks,
+			LayoutName: layout,
+			MinItems:   6, MaxItems: 10,
+		}
+	}
+	return specs
+}
+
+// extractVia drives one extraction through the front coordinator and
+// returns status, serving node, and whether the fast path served it.
+func extractVia(t *testing.T, front *cluster.Coordinator, site, html string) (status int, node string, fromRule bool) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/extract?site="+site, strings.NewReader(html))
+	rec := httptest.NewRecorder()
+	front.ServeHTTP(rec, req)
+	var payload struct {
+		Node     string `json:"node"`
+		FromRule bool   `json:"fromRule"`
+		Objects  []any  `json:"objects"`
+	}
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+			t.Fatalf("extract %s: bad JSON: %v", site, err)
+		}
+		if len(payload.Objects) == 0 {
+			t.Fatalf("extract %s: zero objects", site)
+		}
+	}
+	return rec.Code, payload.Node, payload.FromRule
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestWarmFailoverChaosProof is the acceptance experiment for rule
+// distribution: a three-node cluster learns eight sites, every node
+// syncs every rule, and the owner of the most sites is killed
+// mid-operation. The proof obligations: every remapped site is served
+// fast-path by its new owner with zero relearns, and the killed node
+// restarts into a warm cache — join sync before /readyz, zero learns
+// after re-admission. Run under -race by scripts/ci.sh.
+func TestWarmFailoverChaosProof(t *testing.T) {
+	// --- Boot: three members on real ports, plus a front router. ---
+	addrs := make([]string, 3)
+	peers := make(map[string]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		_ = ln.Close() // the node re-binds this exact address
+		peers[fmt.Sprintf("n%d", i)] = "http://" + addrs[i]
+	}
+	nodes := make(map[string]*chaosNode, 3)
+	for i, addr := range addrs {
+		id := fmt.Sprintf("n%d", i)
+		nodes[id] = startChaosNode(t, id, addr, peers, false)
+	}
+	frontStats := resilience.NewStats()
+	front := cluster.New(cluster.Config{
+		Peers:         peers,
+		Local:         serve.New(serve.Config{Stats: resilience.NewStats(), Logger: quietLogger()}),
+		Stats:         frontStats,
+		Logger:        quietLogger(),
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		FailThreshold: 2,
+		NodeAttempts:  2,
+		RetryBase:     time.Millisecond,
+		RetryMaxDelay: 4 * time.Millisecond,
+	})
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	go func() { _ = front.Run(fctx) }()
+
+	// --- Learn: eight sites, each on its ring owner. ---
+	specs := warmSpecs()
+	owner := make(map[string]string, len(specs))
+	for _, spec := range specs {
+		status, node, fromRule := extractVia(t, front, spec.Name, spec.Page(0).HTML)
+		if status != http.StatusOK {
+			t.Fatalf("learn %s: status %d", spec.Name, status)
+		}
+		if fromRule {
+			t.Fatalf("learn %s: served fromRule before any rule existed", spec.Name)
+		}
+		if node == "" {
+			t.Fatalf("learn %s: no node attribution", spec.Name)
+		}
+		owner[spec.Name] = node
+	}
+
+	// --- Distribute: one anti-entropy round per node converges all 8
+	// rules everywhere (n0 pulls from n1,n2; etc.).
+	for _, n := range nodes {
+		if err := n.repl.SyncAll(context.Background()); err != nil {
+			t.Fatalf("SyncAll(%s): %v", n.id, err)
+		}
+		if got := n.srv.Farm().Len(); got != len(specs) {
+			t.Fatalf("node %s has %d rules after sync, want %d", n.id, got, len(specs))
+		}
+	}
+
+	// --- Kill the owner of the most sites (≥3 by pigeonhole). ---
+	count := make(map[string]int)
+	for _, n := range owner {
+		count[n]++
+	}
+	victim := ""
+	for id, c := range count {
+		if victim == "" || c > count[victim] {
+			victim = id
+		}
+	}
+	if count[victim] < 3 {
+		t.Fatalf("victim %s owns %d sites, want >= 3 (owners: %v)", victim, count[victim], owner)
+	}
+	var remapped []sitegen.SiteSpec
+	for _, spec := range specs {
+		if owner[spec.Name] == victim {
+			remapped = append(remapped, spec)
+		}
+	}
+	t.Logf("warm-failover: victim=%s owns %d/%d sites %v", victim, count[victim], len(specs), count)
+
+	learnsBefore := make(map[string]int64)
+	for id, n := range nodes {
+		if id != victim {
+			learnsBefore[id] = n.stats.Get(farm.SeriesLearns)
+		}
+	}
+	nodes[victim].kill(t)
+	front.KillForTest(victim) // instantaneous decision; the real prober confirms
+	waitCond(t, "front prober ejection", func() bool {
+		return frontStats.Get(cluster.SeriesProbeFailures) >= 1
+	})
+
+	// --- Proof 1: every site — the remapped ones included — is served
+	// fast-path by a surviving node with zero relearns.
+	for _, spec := range specs {
+		status, node, fromRule := extractVia(t, front, spec.Name, spec.Page(1).HTML)
+		if status != http.StatusOK {
+			t.Fatalf("failover %s: status %d", spec.Name, status)
+		}
+		if node == victim {
+			t.Fatalf("failover %s: served by the killed node", spec.Name)
+		}
+		if !fromRule {
+			t.Errorf("failover %s: not served from the replicated rule (new owner %s)", spec.Name, node)
+		}
+	}
+	for id, n := range nodes {
+		if id == victim {
+			continue
+		}
+		if got := n.stats.Get(farm.SeriesLearns) - learnsBefore[id]; got != 0 {
+			t.Errorf("node %s relearned %d sites after failover, want 0", id, got)
+		}
+	}
+
+	// --- Restart the victim cold-state but warm-join: fresh farm, rules
+	// pulled from ring peers before /readyz flips.
+	reborn := startChaosNode(t, victim, addrs[victimIndex(victim)], peers, true)
+	nodes[victim] = reborn
+	waitCond(t, "join sync + re-admission", func() bool {
+		return reborn.srv.Ready() && frontStats.Get(cluster.SeriesReadmissions) >= 1
+	})
+	if got := reborn.srv.Farm().Len(); got != len(specs) {
+		t.Fatalf("reborn %s has %d rules after join sync, want %d", victim, got, len(specs))
+	}
+	if got := reborn.stats.Get(SeriesJoinSyncs); got != 1 {
+		t.Fatalf("reborn ruledist.join_syncs = %d, want 1", got)
+	}
+
+	// --- Proof 2: the remapped sites come home to a warm cache — the
+	// reborn owner serves them fast-path without one relearn.
+	waitCond(t, "victim back in the front ring", func() bool {
+		_, node, _ := extractVia(t, front, remapped[0].Name, remapped[0].Page(2).HTML)
+		return node == victim
+	})
+	for _, spec := range remapped {
+		status, node, fromRule := extractVia(t, front, spec.Name, spec.Page(3).HTML)
+		if status != http.StatusOK {
+			t.Fatalf("re-admission %s: status %d", spec.Name, status)
+		}
+		if node != victim {
+			t.Errorf("re-admission %s: served by %s, want reborn owner %s", spec.Name, node, victim)
+		}
+		if !fromRule {
+			t.Errorf("re-admission %s: not served from the synced rule", spec.Name)
+		}
+	}
+	if got := reborn.stats.Get(farm.SeriesLearns); got != 0 {
+		t.Errorf("reborn farm.learns = %d, want 0 — failover was not relearn-free", got)
+	}
+	t.Logf("warm-failover: reborn=%s rules=%d learns=%d pulled=%d join_syncs=%d readmissions=%d",
+		victim, reborn.srv.Farm().Len(), reborn.stats.Get(farm.SeriesLearns),
+		reborn.stats.Get(SeriesRulesPulled), reborn.stats.Get(SeriesJoinSyncs),
+		frontStats.Get(cluster.SeriesReadmissions))
+}
+
+// victimIndex maps a node id ("n2") back to its address slot.
+func victimIndex(id string) int {
+	return int(id[len(id)-1] - '0')
+}

@@ -42,6 +42,23 @@ func (r Rule) Valid() bool {
 // ErrNotFound is returned when a store holds no rule for a site.
 var ErrNotFound = errors.New("rules: no rule for site")
 
+// MaxSnapshotVersion is the newest snapshot envelope version this
+// package (and internal/farm, which writes the envelope and pins its
+// SnapshotVersion to this constant) understands. Version 2 added
+// tombstones; a snapshot declaring a higher version was written by a
+// newer binary and is rejected with ErrSnapshotVersion rather than
+// half-read.
+const MaxSnapshotVersion = 2
+
+// ErrSnapshotVersion is returned by ReadFrom for a snapshot envelope
+// declaring a format version newer than MaxSnapshotVersion.
+var ErrSnapshotVersion = errors.New("rules: snapshot format version too new")
+
+// ErrDuplicateSite is returned by ReadFrom for a snapshot holding two
+// entries for one site: silently letting the last one win would mask
+// a corrupt or hand-edited file, so the whole load is rejected.
+var ErrDuplicateSite = errors.New("rules: duplicate site in snapshot")
+
 // Store is a concurrency-safe collection of per-site extraction rules with
 // JSON persistence.
 type Store struct {
@@ -123,10 +140,17 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadFrom loads rules from a JSON array — or from a versioned wrapper-farm
-// snapshot (`{"version":1,"rules":[...]}`, see internal/farm), whose extra
-// per-rule fields are ignored — merging into the store. The format is
-// sniffed from the first JSON token, so the ominiserve -rules flag accepts
-// both a Store.Save file and a farm -rule-store file.
+// snapshot (`{"version":2,"rules":[...]}`, see internal/farm), whose extra
+// envelope and per-rule fields are ignored — merging into the store. The
+// format is sniffed from the first JSON token, so the ominiserve -rules flag
+// accepts both a Store.Save file and a farm -rule-store file.
+//
+// Malformed snapshots are rejected before anything merges: a declared
+// envelope version above MaxSnapshotVersion returns ErrSnapshotVersion,
+// and two entries naming one site return ErrDuplicateSite (silent
+// last-wins would hide a corrupt or hand-edited file). Entries missing
+// replay fields are skipped, as before — an individually invalid rule
+// is a degraded entry, not evidence the whole file is untrustworthy.
 func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -135,14 +159,28 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	var list []Rule
 	if isJSONObject(data) {
 		var envelope struct {
-			Rules []Rule `json:"rules"`
+			Version int    `json:"version"`
+			Rules   []Rule `json:"rules"`
 		}
 		if err := json.Unmarshal(data, &envelope); err != nil {
 			return int64(len(data)), fmt.Errorf("rules: unmarshal snapshot: %w", err)
 		}
+		if envelope.Version > MaxSnapshotVersion {
+			return int64(len(data)), fmt.Errorf("%w: %d > %d", ErrSnapshotVersion, envelope.Version, MaxSnapshotVersion)
+		}
 		list = envelope.Rules
 	} else if err := json.Unmarshal(data, &list); err != nil {
 		return int64(len(data)), fmt.Errorf("rules: unmarshal: %w", err)
+	}
+	seen := make(map[string]bool, len(list))
+	for _, rule := range list {
+		if rule.Site == "" {
+			continue
+		}
+		if seen[rule.Site] {
+			return int64(len(data)), fmt.Errorf("%w: %q", ErrDuplicateSite, rule.Site)
+		}
+		seen[rule.Site] = true
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -171,3 +171,64 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d, want 8", s.Len())
 	}
 }
+
+// TestReadFromRejectsMalformedSnapshots is the hardening table over the
+// snapshot shapes replication can put on the wire: corrupt, truncated,
+// duplicate-site and future-version payloads must fail with typed
+// errors (and leave the store empty), while legacy and current shapes
+// still load.
+func TestReadFromRejectsMalformedSnapshots(t *testing.T) {
+	good := `{"site": "good.com", "subtreePath": "html[1]", "separator": "tr"}`
+	tests := []struct {
+		name    string
+		payload string
+		wantErr error // nil = any error unacceptable, load must succeed
+		bad     bool  // true = must fail (wantErr nil means "any error")
+	}{
+		{name: "current envelope", payload: `{"version": 2, "rules": [` + good + `]}`},
+		{name: "v1 envelope", payload: `{"version": 1, "rules": [` + good + `]}`},
+		{name: "legacy array", payload: `[` + good + `]`},
+		{name: "corrupt", payload: `{"version": 2, "rules": [{]}`, bad: true},
+		{name: "truncated", payload: `{"version": 2, "rules": [` + good, bad: true},
+		{name: "empty", payload: ``, bad: true},
+		{
+			name:    "duplicate site",
+			payload: `{"version": 1, "rules": [` + good + `, ` + good + `]}`,
+			wantErr: ErrDuplicateSite, bad: true,
+		},
+		{
+			name:    "duplicate site legacy array",
+			payload: `[` + good + `, ` + good + `]`,
+			wantErr: ErrDuplicateSite, bad: true,
+		},
+		{
+			name:    "future version",
+			payload: `{"version": 99, "rules": [` + good + `]}`,
+			wantErr: ErrSnapshotVersion, bad: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewStore()
+			_, err := s.ReadFrom(bytes.NewReader([]byte(tt.payload)))
+			if !tt.bad {
+				if err != nil {
+					t.Fatalf("ReadFrom: %v", err)
+				}
+				if s.Len() != 1 {
+					t.Fatalf("Len = %d, want 1", s.Len())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("malformed snapshot accepted")
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tt.wantErr)
+			}
+			if s.Len() != 0 {
+				t.Errorf("rejected snapshot left %d rules in the store", s.Len())
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"omini/internal/farm"
+	"omini/internal/resilience"
+	"omini/internal/rules"
+	"omini/internal/tagtree"
+)
+
+// seedRule plants one versioned rule straight into a server's farm.
+func seedRule(s *Server, site string, version int) {
+	s.Farm().Put(rules.Rule{
+		Site:        site,
+		SubtreePath: "html[1].body[1].ul[1]",
+		Separator:   "li",
+		LearnedAt:   time.Date(2026, 8, 4, 0, 0, 0, 0, time.UTC),
+		Version:     version,
+	}, tagtree.Signature{"html": 1, "html.body": 1})
+}
+
+func getWithHeader(t *testing.T, url, header, value string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header != "" {
+		req.Header.Set(header, value)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRuleszDigestView: the digest is the replication wire surface —
+// per-site rule and tombstone versions plus a strong etag that answers
+// If-None-Match with 304 until farm state changes.
+func TestRuleszDigestView(t *testing.T) {
+	srv := New(Config{Stats: resilience.NewStats()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	seedRule(srv, "a.example", 2)
+	seedRule(srv, "b.example", 1)
+	srv.Farm().Invalidate("b.example")
+
+	resp := getWithHeader(t, ts.URL+"/rulesz?view=digest", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("digest status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("digest response has no ETag")
+	}
+	var d ruleszDigest
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("bad digest JSON: %v", err)
+	}
+	if d.Rules["a.example"] != 2 || len(d.Rules) != 1 {
+		t.Fatalf("digest rules = %v", d.Rules)
+	}
+	if d.Tombstones["b.example"] != 1 || len(d.Tombstones) != 1 {
+		t.Fatalf("digest tombstones = %v", d.Tombstones)
+	}
+
+	// Matching If-None-Match short-circuits to 304.
+	if resp := getWithHeader(t, ts.URL+"/rulesz?view=digest", "If-None-Match", etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("matching If-None-Match status = %d, want 304", resp.StatusCode)
+	}
+	// A state change invalidates the etag.
+	seedRule(srv, "c.example", 1)
+	resp = getWithHeader(t, ts.URL+"/rulesz?view=digest", "If-None-Match", etag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match status = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") == etag {
+		t.Fatal("etag unchanged after farm mutation")
+	}
+}
+
+// TestRuleszSyncView: the sync view ships the canonical farm snapshot —
+// whole, or filtered to the sites a joining node asks for.
+func TestRuleszSyncView(t *testing.T) {
+	srv := New(Config{Stats: resilience.NewStats()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, site := range []string{"a.example", "b.example", "c.example"} {
+		seedRule(srv, site, 1)
+	}
+	seedRule(srv, "d.example", 3)
+	srv.Farm().Invalidate("d.example")
+
+	resp := getWithHeader(t, ts.URL+"/rulesz?view=sync", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := farm.DecodeSnapshot(body)
+	if err != nil {
+		t.Fatalf("sync body failed the snapshot codec: %v", err)
+	}
+	if len(snap.Rules) != 3 || len(snap.Tombstones) != 1 {
+		t.Fatalf("unfiltered sync = %d rules, %d tombstones", len(snap.Rules), len(snap.Tombstones))
+	}
+
+	resp = getWithHeader(t, ts.URL+"/rulesz?view=sync&sites=b.example,d.example,unknown.example", "", "")
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err = farm.DecodeSnapshot(body)
+	if err != nil {
+		t.Fatalf("filtered sync body: %v", err)
+	}
+	if len(snap.Rules) != 1 || snap.Rules[0].Site != "b.example" {
+		t.Fatalf("filtered rules = %+v", snap.Rules)
+	}
+	if len(snap.Tombstones) != 1 || snap.Tombstones[0].Site != "d.example" {
+		t.Fatalf("filtered tombstones = %+v", snap.Tombstones)
+	}
+
+	// The unfiltered sync view honors If-None-Match like the digest, so
+	// converged anti-entropy rounds cost no snapshot encode. (Filtered
+	// pulls skip negotiation: the etag names the whole farm.)
+	etag := getWithHeader(t, ts.URL+"/rulesz?view=sync", "", "").Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("unfiltered sync response has no ETag")
+	}
+	if resp := getWithHeader(t, ts.URL+"/rulesz?view=sync", "If-None-Match", etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("sync If-None-Match status = %d, want 304", resp.StatusCode)
+	}
+}
+
+// TestRuleszInspectionReportsEtag: the default human view carries the
+// same etag and the tombstone count, so divergence is visible to
+// operators without the digest view.
+func TestRuleszInspectionReportsEtag(t *testing.T) {
+	srv := New(Config{Stats: resilience.NewStats()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	seedRule(srv, "a.example", 1)
+	seedRule(srv, "b.example", 1)
+	srv.Farm().Invalidate("b.example")
+
+	resp := getWithHeader(t, ts.URL+"/rulesz", "", "")
+	var out ruleszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Etag == "" {
+		t.Fatal("inspection view has no etag")
+	}
+	if out.Tombstones != 1 {
+		t.Fatalf("inspection tombstones = %d, want 1", out.Tombstones)
+	}
+}
+
+// TestDeferReadyHoldsReadyz: with DeferReady the server answers
+// traffic but stays out of rotation until MarkReady — the joining
+// node's "pull rules before taking shard traffic" window.
+func TestDeferReadyHoldsReadyz(t *testing.T) {
+	srv := New(Config{DeferReady: true, Stats: resilience.NewStats()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if got := getStatus(t, ts.URL+"/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before MarkReady = %d, want 503", got)
+	}
+	if got := getStatus(t, ts.URL+"/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz during join sync = %d, want 200 (alive, not ready)", got)
+	}
+	// Serving is never gated on the sync: the sync window only affects
+	// routing, and a direct request still works (degrades to learn).
+	if got := getStatus(t, ts.URL+"/rulesz"); got != http.StatusOK {
+		t.Fatalf("/rulesz during join sync = %d, want 200", got)
+	}
+	if srv.Ready() {
+		t.Fatal("Ready() = true before MarkReady")
+	}
+	srv.MarkReady()
+	if got := getStatus(t, ts.URL+"/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz after MarkReady = %d, want 200", got)
+	}
+	srv.MarkReady() // idempotent
+	if !srv.Ready() {
+		t.Fatal("Ready() = false after MarkReady")
+	}
+}

@@ -108,6 +108,13 @@ type Config struct {
 	// cluster node shares one sink between its coordinator and server so
 	// both halves of a self-served request merge into one trace.
 	Traces *obs.TraceSink
+	// DeferReady holds /readyz at 503 after the rules load until
+	// MarkReady is called. Cluster nodes set it when they sync rules
+	// from ring peers on join: the health checker must not route shard
+	// traffic to a node whose cache is still filling. Serving itself is
+	// never gated — a request that arrives anyway is answered (learn on
+	// miss), readiness only steers the routers.
+	DeferReady bool
 }
 
 const (
@@ -182,8 +189,11 @@ type Server struct {
 	farm *farm.Farm
 
 	// ready flips once the rule store is loaded (immediately when no
-	// RulesFile is configured); /readyz reports it.
-	ready atomic.Bool
+	// RulesFile is configured); joined flips once the join-time rule
+	// sync finishes (immediately unless Config.DeferReady). /readyz
+	// reports the conjunction.
+	ready  atomic.Bool
+	joined atomic.Bool
 
 	mu       sync.RWMutex
 	wrappers map[string]*wrapgen.Wrapper
@@ -243,6 +253,7 @@ func New(cfg Config) *Server {
 		fm, _ = farm.New(farm.Config{Extractor: s.extractor, Stats: cfg.Stats, Logger: cfg.Logger})
 	}
 	s.farm = fm
+	s.joined.Store(!cfg.DeferReady)
 	s.registerMetrics()
 	s.loadRules()
 
@@ -370,18 +381,28 @@ func (s *Server) Run(ctx context.Context) error { return s.farm.Run(ctx) }
 func (s *Server) Close() error { return s.farm.Close() }
 
 // Ready reports whether the server would pass its own /readyz probe.
-func (s *Server) Ready() bool { return s.ready.Load() }
+func (s *Server) Ready() bool { return s.ready.Load() && s.joined.Load() }
+
+// MarkReady releases a Config.DeferReady hold: the join-time rule sync
+// finished (or gave up and degraded to learn-on-miss), so the health
+// checker may route shard traffic here. Idempotent.
+func (s *Server) MarkReady() { s.joined.Store(true) }
 
 // handleReadyz is the readiness probe: 200 once the rule store is
-// loaded, 503 before (or forever, on a bad snapshot).
+// loaded and any join-time rule sync has finished, 503 before (or
+// forever, on a bad snapshot).
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if !s.ready.Load() {
+	switch {
+	case !s.ready.Load():
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = io.WriteString(w, "not ready: rules not loaded\n")
-		return
+	case !s.joined.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "not ready: rule sync in progress\n")
+	default:
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ready\n")
 	}
-	w.WriteHeader(http.StatusOK)
-	_, _ = io.WriteString(w, "ready\n")
 }
 
 // reqInfo is the per-request decision summary handlers fill in for the
@@ -893,16 +914,41 @@ type ruleszRule struct {
 type ruleszResponse struct {
 	Rules      int          `json:"rules"`
 	StoreBytes int64        `json:"storeBytes"`
+	Etag       string       `json:"etag"`
+	Tombstones int          `json:"tombstones"`
 	Sites      []ruleszRule `json:"sites"`
 }
 
-// handleRulesz serves the farm's per-site state: which rules are
-// cached, their versions, hit counts and drift-check readiness.
-func (s *Server) handleRulesz(w http.ResponseWriter, _ *http.Request) {
+// ruleszDigest is the ?view=digest payload: the farm's per-site rule
+// and tombstone versions plus their etag — everything a ruledist peer
+// needs to decide which sites to pull, without any rule bodies.
+type ruleszDigest struct {
+	Etag       string         `json:"etag"`
+	Rules      map[string]int `json:"rules"`
+	Tombstones map[string]int `json:"tombstones"`
+}
+
+// handleRulesz serves the farm's per-site state. The default view is
+// the human inspection listing; ?view=digest returns the version
+// vector (with ETag / If-None-Match negotiation, so a steady-state
+// anti-entropy poll costs one 304), and ?view=sync returns the farm's
+// canonical wire snapshot, optionally filtered to ?sites=a,b,c — the
+// incremental transfer a joining node pulls from its ring neighbors.
+func (s *Server) handleRulesz(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("view") {
+	case "digest":
+		s.serveRuleszDigest(w, r)
+		return
+	case "sync":
+		s.serveRuleszSync(w, r)
+		return
+	}
 	stored := s.farm.Rules()
 	resp := ruleszResponse{
 		Rules:      len(stored),
 		StoreBytes: s.farm.StoreBytes(),
+		Etag:       s.farm.Etag(),
+		Tombstones: s.farm.TombstoneCount(),
 		Sites:      make([]ruleszRule, 0, len(stored)),
 	}
 	for _, r := range stored {
@@ -917,6 +963,55 @@ func (s *Server) handleRulesz(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	writeJSON(w, resp)
+}
+
+// notModified answers an If-None-Match probe against the farm etag,
+// reporting whether a 304 was written. The ETag header is set either
+// way, so pollers always learn the current value.
+func notModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	w.Header().Set("ETag", `"`+etag+`"`)
+	match := strings.Trim(r.Header.Get("If-None-Match"), `"`)
+	if match == "" || match != etag {
+		return false
+	}
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// serveRuleszDigest serves the version-vector digest view.
+func (s *Server) serveRuleszDigest(w http.ResponseWriter, r *http.Request) {
+	etag := s.farm.Etag()
+	if notModified(w, r, etag) {
+		return
+	}
+	ruleV, tombV := s.farm.VersionVector()
+	writeJSON(w, ruleszDigest{Etag: etag, Rules: ruleV, Tombstones: tombV})
+}
+
+// serveRuleszSync serves the farm's canonical snapshot (the same codec
+// the rule store persists, so a truncated or corrupt transfer fails
+// decode on the puller and is discarded whole). Only the unfiltered
+// view participates in ETag negotiation — a ?sites= subset has no
+// stable identity of its own.
+func (s *Server) serveRuleszSync(w http.ResponseWriter, r *http.Request) {
+	var sites []string
+	if raw := r.URL.Query().Get("sites"); raw != "" {
+		for _, site := range strings.Split(raw, ",") {
+			if site = strings.TrimSpace(site); site != "" {
+				sites = append(sites, site)
+			}
+		}
+	}
+	if len(sites) == 0 && notModified(w, r, s.farm.Etag()) {
+		return
+	}
+	data, err := farm.EncodeSnapshot(s.farm.SyncSnapshot(sites))
+	if err != nil {
+		httpError(r.Context(), w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
 }
 
 // tracezResponse is the /tracez list payload.

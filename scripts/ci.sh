@@ -41,6 +41,15 @@ go test -race ./...
 echo "==> cluster kill-a-node chaos under -race"
 go test -race -run '^TestKillANodeChaosProof$' ./internal/cluster/
 
+# Warm failover: the kill extends to a restart. In a three-node cluster
+# that has learned 8 sites and replicated every rule, killing the owner
+# of the most sites must leave every remapped site served fast-path by
+# its new owner with zero relearns; the killed node must then restart
+# into a warm cache — rules pulled from ring peers before /readyz
+# flips, zero learns after re-admission (DESIGN.md §15).
+echo "==> warm-failover restart chaos under -race"
+go test -race -run '^TestWarmFailoverChaosProof$' ./internal/ruledist/
+
 # Resource governor: every adversarial page in testdata/pathological must
 # extract or fail fast with a typed limit/deadline error under the race
 # detector — no hangs, panics, or stack overflows (DESIGN.md §10).
@@ -210,8 +219,8 @@ if [ "$FARM_SMOKE" != "0" ]; then
     echo "    tracez: fast + slow path traces present, $tid has a span tree"
     kill "$srv_pid"
     wait "$srv_pid" 2>/dev/null || true
-    grep -q '"version": 1' "$tmpdir/rules.json" || {
-        echo "-rule-store file missing or not a v1 snapshot after shutdown" >&2
+    grep -q '"version": 2' "$tmpdir/rules.json" || {
+        echo "-rule-store file missing or not a v2 snapshot after shutdown" >&2
         exit 1
     }
     trap - EXIT
