@@ -355,6 +355,9 @@ func (r *Replicator) fetchDigest(ctx context.Context, id, base string) (d digest
 		if etag := r.lastEtag(id); etag != "" {
 			req.Header.Set("If-None-Match", `"`+etag+`"`)
 		}
+		if sc := obs.SpanContextFrom(actx); sc.Valid() {
+			req.Header.Set(obs.TraceHeader, sc.Header())
+		}
 		resp, rerr := r.client.Do(req)
 		if rerr != nil {
 			return fmt.Errorf("ruledist: digest %s: %w", id, rerr)
@@ -403,6 +406,9 @@ func (r *Replicator) pull(ctx context.Context, id, base string, sites []string) 
 		req, rerr := http.NewRequestWithContext(actx, http.MethodGet, base+"/rulesz?"+q.Encode(), nil)
 		if rerr != nil {
 			return resilience.Permanent(fmt.Errorf("ruledist: pull %s: %w", id, rerr))
+		}
+		if sc := obs.SpanContextFrom(actx); sc.Valid() {
+			req.Header.Set(obs.TraceHeader, sc.Header())
 		}
 		resp, rerr := r.client.Do(req)
 		if rerr != nil {

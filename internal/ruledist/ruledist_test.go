@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -82,6 +83,66 @@ func newLocal(t *testing.T, peers map[string]string, tune func(*Config)) (*farm.
 func TestNewRequiresFarm(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("New accepted a nil farm")
+	}
+}
+
+// TestSyncStampsTraceHeader: when the replicator runs under a traced
+// context, every digest and pull request carries a well-formed
+// X-Omini-Trace header, so the peer's /rulesz handler spans parent to
+// the sync round instead of starting orphan traces.
+func TestSyncStampsTraceHeader(t *testing.T) {
+	peer := newPeerNode(t)
+	peer.seed("a.example", 1)
+
+	var mu sync.Mutex
+	headers := make(map[string][]string) // view -> trace headers seen
+	wrapped := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		view := r.URL.Query().Get("view")
+		headers[view] = append(headers[view], r.Header.Get(obs.TraceHeader))
+		mu.Unlock()
+		peer.srv.ServeHTTP(w, r)
+	}))
+	defer wrapped.Close()
+
+	f, r, _ := newLocal(t, map[string]string{"peer": wrapped.URL}, nil)
+	ctx, _ := obs.WithTraceRecorder(context.Background(), false)
+	if err := r.SyncAll(ctx); err != nil {
+		t.Fatalf("SyncAll: %v", err)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("local farm has %d rules after sync, want 1", f.Len())
+	}
+	mu.Lock()
+	for _, view := range []string{"digest", "sync"} {
+		if len(headers[view]) == 0 {
+			t.Fatalf("no %s request reached the peer", view)
+		}
+		for _, h := range headers[view] {
+			if h == "" {
+				t.Fatalf("%s request carried no %s header", view, obs.TraceHeader)
+			}
+			if sc, err := obs.ParseTraceHeader(h); err != nil || !sc.Valid() {
+				t.Fatalf("%s request header %q does not parse as a span context: %v", view, h, err)
+			}
+		}
+	}
+	// Untraced contexts propagate nothing: no fabricated trace roots.
+	headers = make(map[string][]string)
+	mu.Unlock()
+
+	peer.seed("b.example", 1)
+	if err := r.SyncAll(context.Background()); err != nil {
+		t.Fatalf("untraced SyncAll: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for view, hs := range headers {
+		for _, h := range hs {
+			if h != "" {
+				t.Fatalf("untraced %s request carried %s header %q, want none", view, obs.TraceHeader, h)
+			}
+		}
 	}
 }
 
