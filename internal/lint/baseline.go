@@ -1,0 +1,193 @@
+package lint
+
+// A reviewed baseline for deliberate exceptions: each entry names an
+// analyzer, a function key ("pkg.Func" or "pkg.Recv.Method"), and a
+// mandatory justification. Findings inside a baselined function are
+// suppressed for that analyzer; entries pointing at functions that no
+// longer exist in the loaded packages are themselves reported as
+// findings (analyzer "baseline"), so the file can only shrink as the
+// code it excuses disappears — a stale exception never lingers
+// silently.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry is one reviewed exception.
+type BaselineEntry struct {
+	// Analyzer is the analyzer whose findings the entry suppresses.
+	Analyzer string
+	// FuncKey identifies the function ("pkg.Func" / "pkg.Recv.Method"),
+	// matching governloop's baseline key format.
+	FuncKey string
+	// Justification explains why the exception is correct.
+	Justification string
+	// Line is the entry's line in the baseline file.
+	Line int
+}
+
+// Baseline is a parsed baseline file.
+type Baseline struct {
+	// Path names the file, for stale-entry positions.
+	Path    string
+	entries map[string]map[string]*BaselineEntry // analyzer -> funcKey
+}
+
+// LoadBaseline reads and parses a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBaseline(path, data)
+}
+
+// ParseBaseline parses baseline text: one entry per line in the form
+//
+//	<analyzer> <pkg>.<func-key> — <justification>
+//
+// ("--" works in place of the em dash). Blank lines and #-comments
+// are skipped. An entry without a justification is an error: the file
+// is a record of reviewed decisions, not a mute button.
+func ParseBaseline(path string, data []byte) (*Baseline, error) {
+	b := &Baseline{Path: path, entries: make(map[string]map[string]*BaselineEntry)}
+	for i, line := range strings.Split(string(data), "\n") {
+		text := strings.TrimSpace(line)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var why string
+		for _, sep := range []string{" — ", " -- "} {
+			if head, tail, ok := strings.Cut(text, sep); ok {
+				text, why = strings.TrimSpace(head), strings.TrimSpace(tail)
+				break
+			}
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 || why == "" {
+			return nil, fmt.Errorf("%s:%d: baseline entry must be %q", path, i+1,
+				"<analyzer> <pkg>.<func> — <justification>")
+		}
+		e := &BaselineEntry{Analyzer: fields[0], FuncKey: fields[1], Justification: why, Line: i + 1}
+		if b.entries[e.Analyzer] == nil {
+			b.entries[e.Analyzer] = make(map[string]*BaselineEntry)
+		}
+		if b.entries[e.Analyzer][e.FuncKey] != nil {
+			return nil, fmt.Errorf("%s:%d: duplicate baseline entry %s %s", path, i+1, e.Analyzer, e.FuncKey)
+		}
+		b.entries[e.Analyzer][e.FuncKey] = e
+	}
+	return b, nil
+}
+
+// Len reports the number of entries.
+func (b *Baseline) Len() int {
+	n := 0
+	for _, m := range b.entries {
+		n += len(m)
+	}
+	return n
+}
+
+// funcIndex maps finding positions back to enclosing declarations: a
+// per-file, line-ranged index of every FuncDecl in the run, plus the
+// set of existing function keys for staleness.
+type funcIndex struct {
+	byFile map[string][]funcRange
+	keys   map[string]bool
+}
+
+type funcRange struct {
+	start, end int
+	key        string
+}
+
+func buildFuncIndex(pkgs []*Package) *funcIndex {
+	idx := &funcIndex{byFile: make(map[string][]funcRange), keys: make(map[string]bool)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				key := lastSegment(pkg.Path) + "." + funcKey(fd)
+				idx.keys[key] = true
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				idx.byFile[start.Filename] = append(idx.byFile[start.Filename],
+					funcRange{start: start.Line, end: end.Line, key: key})
+			}
+		}
+	}
+	return idx
+}
+
+// keyAt resolves a finding position to its enclosing function key.
+func (idx *funcIndex) keyAt(pos token.Position) string {
+	best := ""
+	bestSpan := 1 << 30
+	for _, fr := range idx.byFile[pos.Filename] {
+		if pos.Line >= fr.start && pos.Line <= fr.end && fr.end-fr.start < bestSpan {
+			best, bestSpan = fr.key, fr.end-fr.start
+		}
+	}
+	return best
+}
+
+// ApplyBaseline filters findings through the baseline: findings whose
+// enclosing function carries a matching entry are dropped, and every
+// entry that names a function absent from the loaded packages comes
+// back as a stale-baseline finding positioned at its line in the
+// baseline file. A nil baseline passes findings through unchanged.
+func ApplyBaseline(b *Baseline, pkgs []*Package, findings []Finding) []Finding {
+	if b == nil {
+		return findings
+	}
+	idx := buildFuncIndex(pkgs)
+	kept := findings[:0:0]
+	for _, f := range findings {
+		if byKey := b.entries[f.Analyzer]; byKey != nil {
+			if key := idx.keyAt(f.Pos); key != "" && byKey[key] != nil {
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	kept = append(kept, StaleEntries(b, pkgs)...)
+	sortFindings(kept)
+	return kept
+}
+
+// StaleEntries reports baseline entries that reference functions no
+// longer present in the loaded packages.
+func StaleEntries(b *Baseline, pkgs []*Package) []Finding {
+	if b == nil {
+		return nil
+	}
+	idx := buildFuncIndex(pkgs)
+	var stale []Finding
+	var analyzers []string
+	for a := range b.entries {
+		analyzers = append(analyzers, a)
+	}
+	sort.Strings(analyzers)
+	for _, a := range analyzers {
+		for _, e := range b.entries[a] {
+			if !idx.keys[e.FuncKey] {
+				stale = append(stale, Finding{
+					Pos:      token.Position{Filename: b.Path, Line: e.Line},
+					Analyzer: "baseline",
+					Message:  fmt.Sprintf("stale baseline entry: %s %s names a function that no longer exists", e.Analyzer, e.FuncKey),
+				})
+			}
+		}
+	}
+	sortFindings(stale)
+	return stale
+}

@@ -1,0 +1,353 @@
+package lint
+
+// bodyclose: every *http.Response obtained in the module must have
+// its Body reach Close on all control-flow paths, and every read from
+// a remote body (response or inbound request) must be bounded by
+// io.LimitReader. The cluster and ruledist transfer paths talk to
+// peers that can stall, die mid-body, or answer with garbage; a
+// leaked body pins a connection and an unbounded read hands a peer
+// the ability to balloon memory. Close is checked path-sensitively on
+// the CFG: a direct <resp>.Body.Close(), a deferred close (bare or
+// inside a deferred closure), or handing the response off (returned,
+// stored, or passed to a callee — including recognized drain-and-
+// close helpers) all satisfy a path; the error branch of the
+// producing call is exempt, matching the net/http contract that a
+// non-nil error means no body to close.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func newBodyclose() *Analyzer {
+	return &Analyzer{
+		Name: "bodyclose",
+		Doc:  "every *http.Response body reaches Close on all paths; remote reads go through io.LimitReader",
+		Run:  runBodyclose,
+	}
+}
+
+func runBodyclose(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBodyclose(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBodyclose(pass, lit.Body)
+				}
+				return true
+			})
+			checkLimitedReads(pass, fd)
+		}
+	}
+}
+
+// responseAssign is one `resp, err := <call>` site producing an
+// *http.Response.
+type responseAssign struct {
+	assign *ast.AssignStmt
+	// resp is the response variable's object; nil when assigned to _.
+	resp types.Object
+	// err is the paired error variable's object, if any.
+	err types.Object
+}
+
+// checkBodyclose runs the all-paths Close analysis over one function
+// body (closures are analyzed separately by the caller; a response
+// crossing a closure boundary counts as handed off).
+func checkBodyclose(pass *Pass, body *ast.BlockStmt) {
+	cfg := pass.FuncCFG(body)
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Stmts {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			site := responseAssignOf(pass, as)
+			if site == nil {
+				continue
+			}
+			if site.resp == nil {
+				pass.Reportf(as.Pos(), "*http.Response assigned to _ leaks its body; close it even when discarding the response")
+				continue
+			}
+			prune := errGuardPrune(pass, site)
+			escaped := cfg.escapes(b, i+1, func(m ast.Node) bool {
+				return closesOrHandsOff(pass, m, site.resp)
+			}, prune)
+			if escaped {
+				pass.Reportf(as.Pos(), "*http.Response body does not reach Close on every path from this call")
+			}
+		}
+	}
+}
+
+// responseAssignOf recognizes `resp, err := <call>` (or `resp := …`)
+// where the call yields an *http.Response.
+func responseAssignOf(pass *Pass, as *ast.AssignStmt) *responseAssign {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	// Locate the *http.Response component of the result.
+	respIdx := -1
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isResponsePtr(t.At(i).Type()) {
+				respIdx = i
+			}
+		}
+	default:
+		if isResponsePtr(t) {
+			respIdx = 0
+		}
+	}
+	if respIdx < 0 || respIdx >= len(as.Lhs) {
+		return nil
+	}
+	site := &responseAssign{assign: as}
+	if id, ok := as.Lhs[respIdx].(*ast.Ident); ok && id.Name != "_" {
+		site.resp = pass.Info.Defs[id]
+		if site.resp == nil {
+			site.resp = pass.Info.Uses[id]
+		}
+	}
+	for i, lhs := range as.Lhs {
+		if i == respIdx {
+			continue
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil && implementsError(obj.Type()) {
+			site.err = obj
+		}
+	}
+	return site
+}
+
+// errGuardPrune builds the path filter for one response site: the
+// branch where the producing call's error is non-nil (or the response
+// itself is nil) carries no body, so those edges are pruned from the
+// must-close query.
+func errGuardPrune(pass *Pass, site *responseAssign) func(*Block, int) bool {
+	return func(b *Block, succ int) bool {
+		cond, ok := ast.Unparen(b.Cond).(*ast.BinaryExpr)
+		if !ok || len(b.Succs) < 2 {
+			return false
+		}
+		obj := condNilCheckObj(pass, cond)
+		if obj == nil {
+			return false
+		}
+		switch {
+		case obj == site.err:
+			// err != nil: prune the true edge; err == nil: the false edge.
+			if cond.Op.String() == "!=" {
+				return succ == 0
+			}
+			return succ == 1
+		case obj == site.resp:
+			// resp == nil: prune the true edge; resp != nil: the false edge.
+			if cond.Op.String() == "==" {
+				return succ == 0
+			}
+			return succ == 1
+		}
+		return false
+	}
+}
+
+// condNilCheckObj resolves `x != nil` / `x == nil` to x's object.
+func condNilCheckObj(pass *Pass, cond *ast.BinaryExpr) types.Object {
+	op := cond.Op.String()
+	if op != "!=" && op != "==" {
+		return nil
+	}
+	x, y := ast.Unparen(cond.X), ast.Unparen(cond.Y)
+	if isNilIdent(y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return pass.Info.Uses[id]
+		}
+	}
+	if isNilIdent(x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return pass.Info.Uses[id]
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// closesOrHandsOff reports whether node n discharges the close
+// obligation for the response variable v: closes its body (directly,
+// deferred, or inside a deferred closure), returns it whole, stores
+// it whole (the new owner closes), captures it in a closure, or
+// passes it to a recognized drain-and-close helper. Passing only
+// v.Body to a callee (io.LimitReader and friends wrap reading, not
+// closing) and reading fields (v.StatusCode) do not discharge.
+func closesOrHandsOff(pass *Pass, n ast.Node, v types.Object) bool {
+	switch m := n.(type) {
+	case *RangeHead:
+		n = m.Range.X
+	case *SelectHead:
+		return false
+	case *ast.DeferStmt:
+		// A deferred <v>.Body.Close(), or a deferred closure whose body
+		// closes it, closes on every exit past this point.
+		if closeTargets(pass.Info, m.Call, v) {
+			return true
+		}
+		if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+			return closesBodyOf(pass.Info, lit.Body, v)
+		}
+		return false
+	case *ast.ReturnStmt:
+		// Returning the response itself hands the close duty to the
+		// caller. A call inside the results does not: it falls through
+		// to the generic scan, where only recognized closers discharge.
+		for _, r := range m.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && pass.Info.Uses[id] == v {
+				return true
+			}
+		}
+	}
+	done := false
+	inspectShallow(n, func(m ast.Node) bool {
+		if done {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// The closure captures v: its lifetime leaves this graph.
+			if usesObjectAsValue(pass.Info, m.Body, v) || closesBodyOf(pass.Info, m.Body, v) {
+				done = true
+			}
+			return false
+		case *ast.CallExpr:
+			if closeTargets(pass.Info, m, v) {
+				done = true
+				return false
+			}
+			for i, arg := range m.Args {
+				if !usesObjectAsValue(pass.Info, arg, v) {
+					continue
+				}
+				// Only a recognized drain-and-close helper discharges a
+				// value pass; an arbitrary callee reading the response
+				// does not inherit the close duty.
+				if fn, ok := calleeObject(pass.Info, m).(*types.Func); ok {
+					if idx, closer := pass.Facts.BodyCloserParam(fn); closer && idx == i {
+						done = true
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored whole into another variable, field, or container:
+			// the owner changed; this site is no longer responsible.
+			for _, rhs := range m.Rhs {
+				if usesObjectAsValue(pass.Info, rhs, v) {
+					done = true
+				}
+			}
+		}
+		return true
+	})
+	return done
+}
+
+// usesObjectAsValue reports whether the subtree uses v as a whole
+// value — a bare mention that is not merely the base of a field or
+// method selection (v.StatusCode, v.Body, v.Write(...) are reads of
+// v's parts, not uses of v itself).
+func usesObjectAsValue(info *types.Info, n ast.Node, v types.Object) bool {
+	// Idents appearing as the X of a selector are field reads, not
+	// value uses; collect them first, then look for any other use.
+	fieldReads := make(map[*ast.Ident]bool)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == v {
+				fieldReads[id] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == v && !fieldReads[id] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkLimitedReads enforces the io.LimitReader rule flow-
+// insensitively: a remote body handed whole to a reader sink is
+// unbounded no matter the path.
+var readerSinks = map[string]int{
+	// "pkg.Func": index of the reader argument.
+	"io.ReadAll":      0,
+	"io.Copy":         1,
+	"json.NewDecoder": 0,
+	"bufio.NewReader": 0,
+	"xml.NewDecoder":  0,
+}
+
+func checkLimitedReads(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := calleeObject(pass.Info, call).(*types.Func)
+		if !ok {
+			return true
+		}
+		idx, sink := readerSinks[funcFactKey(fn)]
+		if !sink || idx >= len(call.Args) {
+			return true
+		}
+		arg := ast.Unparen(call.Args[idx])
+		sel, ok := arg.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Body" {
+			return true
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok {
+			return true
+		}
+		switch {
+		case isResponsePtr(tv.Type):
+			pass.Reportf(arg.Pos(), "unbounded read of a response body; wrap it in io.LimitReader")
+		case namedType(tv.Type, "http", "Request"):
+			pass.Reportf(arg.Pos(), "unbounded read of a request body; wrap it in io.LimitReader")
+		}
+		return true
+	})
+}

@@ -1,0 +1,125 @@
+package lint
+
+// goleak: in the long-lived packages — the ones whose objects survive
+// for the process lifetime (serve, cluster, farm, ruledist, obs) —
+// every `go` statement must tie the goroutine to a lifecycle the
+// owner can observe or end: a WaitGroup the spawner waits on, a
+// context whose cancellation the body honors, or a captured stop/done
+// channel. A fire-and-forget goroutine in these packages outlives
+// requests, leaks under restart chaos, and turns the race detector's
+// job into archaeology.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// longLivedPackages hold process-lifetime state; goroutines spawned
+// here need an owner.
+var longLivedPackages = map[string]bool{
+	"serve":    true,
+	"cluster":  true,
+	"farm":     true,
+	"ruledist": true,
+	"obs":      true,
+}
+
+func newGoleak() *Analyzer {
+	return &Analyzer{
+		Name: "goleak",
+		Doc:  "goroutines in long-lived packages are tied to a WaitGroup, context, or stop channel",
+		Run:  runGoleak,
+	}
+}
+
+func runGoleak(pass *Pass) {
+	if !longLivedPackages[lastSegment(pass.Path)] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineHasLifecycle(pass, g) {
+				pass.Reportf(g.Pos(), "goroutine in long-lived package %q has no lifecycle; tie it to a WaitGroup, a context, or a stop channel", lastSegment(pass.Path))
+			}
+			return true
+		})
+	}
+}
+
+// goroutineHasLifecycle accepts a goroutine that is (a) WaitGroup-
+// tied (its body calls Done on a sync.WaitGroup), (b) context-aware
+// (the body mentions a context.Context — a cancellation-honoring loop
+// or a ctx-taking callee), or (c) bound to a captured channel it
+// receives from, selects on, or ranges over (the stop/work-queue
+// shape: closing the channel ends the goroutine).
+func goroutineHasLifecycle(pass *Pass, g *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// go f(ctx, …): a context argument (or a context-typed field of
+		// the receiver chain) counts; anything else is opaque.
+		for _, arg := range g.Call.Args {
+			if tv, ok := pass.Info.Types[arg]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+		return false
+	}
+	tied := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if tv, ok := pass.Info.Types[sel.X]; ok && namedType(tv.Type, "sync", "WaitGroup") {
+					tied = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				tied = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && capturedChannel(pass, lit, n.X) {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && capturedChannel(pass, lit, n.X) {
+					tied = true
+				}
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// capturedChannel reports whether the channel expression refers to
+// state declared outside the goroutine body — a channel the spawner
+// (or its struct) owns and can close. A channel made inside the
+// goroutine cannot be a stop signal.
+func capturedChannel(pass *Pass, lit *ast.FuncLit, ch ast.Expr) bool {
+	switch e := ast.Unparen(ch).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < lit.Body.Pos() || obj.Pos() > lit.Body.End()
+	case *ast.SelectorExpr:
+		// A field (s.stopc) lives on a captured receiver.
+		return true
+	case *ast.CallExpr:
+		// ctx.Done() and friends are context-typed and already counted;
+		// other channel-returning calls are opaque.
+		return false
+	}
+	return false
+}

@@ -17,6 +17,19 @@
 //   - puredet: the pure phase packages stay deterministic — no clocks,
 //     no randomness, no I/O — which is what makes the golden and
 //     differential tests meaningful.
+//   - lockhold: no sync.Mutex or RWMutex is held across a blocking
+//     operation (HTTP round-trips, channel sends/receives, waits).
+//   - bodyclose: every *http.Response body reaches Close on all
+//     control-flow paths, and remote reads go through io.LimitReader.
+//   - goleak: goroutines in the long-lived packages are tied to a
+//     lifecycle (WaitGroup, context, or captured stop channel).
+//   - spanend: every obs.StartSpan span is ended on all paths, and
+//     outbound cluster/ruledist requests stamp X-Omini-Trace.
+//
+// The last four are control-flow aware: the driver builds a
+// per-function basic-block CFG (cfg.go) and run-wide call-graph facts
+// (callgraph.go) that classify callees as blocking, lock-taking,
+// trace-stamping, or body-closing, both exposed through Pass.
 //
 // The paper's system (Buttler, Liu, Pu, ICDCS 2001) is motivated by
 // fully automated extraction at production scale; production Go stacks
@@ -31,6 +44,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Finding is one analyzer diagnostic.
@@ -61,8 +75,27 @@ type Pass struct {
 	Info *types.Info
 	// Files are the package's parsed files (tests excluded).
 	Files []*ast.File
+	// Facts are the run-wide call-graph classifications (blocking,
+	// lock-taking, trace-stamping, body-closing callees), shared by
+	// every pass of the run.
+	Facts *CallFacts
 
 	report func(Finding)
+	cfgs   map[*ast.BlockStmt]*CFG
+}
+
+// FuncCFG returns the control-flow graph of a function body, built on
+// first use and cached for the package across analyzers.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *CFG {
+	if c, ok := p.cfgs[body]; ok {
+		return c
+	}
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	c := BuildCFG(body)
+	p.cfgs[body] = c
+	return c
 }
 
 // Reportf records a finding at pos.
@@ -94,35 +127,76 @@ func NewAnalyzers() []*Analyzer {
 		newErrwrap(),
 		newCtxfirst(),
 		newPuredet(),
+		newLockhold(),
+		newBodyclose(),
+		newGoleak(),
+		newSpanend(),
 	}
+}
+
+// AnalyzerTiming records one analyzer's cost over a whole run, for the
+// CLI's -json timing output.
+type AnalyzerTiming struct {
+	// Name is the analyzer's name.
+	Name string
+	// Duration is the wall time the analyzer spent across all packages
+	// (including its Finish phase).
+	Duration time.Duration
+	// Findings counts the findings the analyzer produced.
+	Findings int
 }
 
 // RunAnalyzers runs every analyzer over every package and returns the
 // findings sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := RunAnalyzersTimed(pkgs, analyzers)
+	return findings
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-analyzer wall-time and
+// finding counts. Call-graph facts and per-function CFGs are built
+// once and shared: each package keeps one Pass whose report hook is
+// repointed per analyzer.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []AnalyzerTiming) {
 	var findings []Finding
+	facts := BuildCallFacts(pkgs)
+	passes := make([]*Pass, len(pkgs))
+	for i, pkg := range pkgs {
+		passes[i] = &Pass{
+			Fset:  pkg.Fset,
+			Path:  pkg.Path,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			Files: pkg.Files,
+			Facts: facts,
+		}
+	}
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
-		for _, pkg := range pkgs {
-			pass := &Pass{
-				Fset:  pkg.Fset,
-				Path:  pkg.Path,
-				Pkg:   pkg.Types,
-				Info:  pkg.Info,
-				Files: pkg.Files,
-			}
-			name := a.Name
+		start := time.Now()
+		count := 0
+		name := a.Name
+		for _, pass := range passes {
 			pass.report = func(f Finding) {
 				f.Analyzer = name
 				findings = append(findings, f)
+				count++
 			}
 			a.Run(pass)
 		}
 		if a.Finish != nil {
 			a.Finish(func(pos token.Position, msg string) {
 				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: msg})
+				count++
 			})
 		}
+		timings = append(timings, AnalyzerTiming{Name: name, Duration: time.Since(start), Findings: count})
 	}
+	sortFindings(findings)
+	return findings, timings
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -136,7 +210,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
 }
 
 // Run loads the packages matched by patterns (resolved relative to

@@ -105,17 +105,33 @@ func TestObsnamesFixture(t *testing.T)   { runFixture(t, "obsnames") }
 func TestErrwrapFixture(t *testing.T)    { runFixture(t, "errwrap") }
 func TestCtxfirstFixture(t *testing.T)   { runFixture(t, "ctxfirst") }
 func TestPuredetFixture(t *testing.T)    { runFixture(t, "puredet") }
+func TestLockholdFixture(t *testing.T)   { runFixture(t, "lockhold") }
+func TestBodycloseFixture(t *testing.T)  { runFixture(t, "bodyclose") }
+func TestGoleakFixture(t *testing.T)     { runFixture(t, "goleak") }
+func TestSpanendFixture(t *testing.T)    { runFixture(t, "spanend") }
 
 // TestSelfCheck asserts the full analyzer suite is green on the real
-// module: the contracts ominilint enforces hold in this tree.
+// module after the reviewed baseline is applied: the contracts
+// ominilint enforces hold in this tree, every deliberate exception is
+// recorded in lint.baseline, and no baseline entry is stale.
 func TestSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped with -short")
 	}
-	findings, err := Run(filepath.Join("..", ".."), []string{"./..."}, NewAnalyzers())
+	root := filepath.Join("..", "..")
+	loader, err := NewLoader(root)
 	if err != nil {
 		t.Fatal(err)
 	}
+	pkgs, err := loader.LoadPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LoadBaseline(filepath.Join(root, "lint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := ApplyBaseline(baseline, pkgs, RunAnalyzers(pkgs, NewAnalyzers()))
 	for _, f := range findings {
 		t.Errorf("ominilint finding on the real module: %s", f)
 	}

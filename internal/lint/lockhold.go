@@ -1,0 +1,221 @@
+package lint
+
+// lockhold: no sync.Mutex or sync.RWMutex may be held across a
+// blocking operation. The serving path's locks (cluster membership,
+// farm singleflight tables, replicator etags) guard in-memory maps; a
+// lock held across an HTTP round-trip, a channel operation, or a
+// wait turns one slow peer into a pile-up behind the mutex. The
+// analyzer propagates a "held locks" set along CFG edges from each
+// Lock/RLock to the matching Unlock (a deferred unlock holds to
+// function exit, which is the point) and reports any node that may
+// block while the set is non-empty. Callees are classified through
+// the run's call-graph facts, so a helper that transitively performs
+// a round-trip counts as blocking at its call site.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func newLockhold() *Analyzer {
+	return &Analyzer{
+		Name: "lockhold",
+		Doc:  "no sync.Mutex/RWMutex held across blocking calls, channel operations, or waits",
+		Run:  runLockhold,
+	}
+}
+
+func runLockhold(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockhold(pass, fd.Body)
+			// Closures get their own graphs: a literal that locks and
+			// blocks is the same bug in a smaller scope.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLockhold(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockState is the set of possibly-held lock keys ("c.mu") at a
+// program point.
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// mergeInto unions src into dst, reporting whether dst grew.
+func mergeInto(dst, src lockState) bool {
+	grew := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+func checkLockhold(pass *Pass, body *ast.BlockStmt) {
+	cfg := pass.FuncCFG(body)
+	// Fixed-point dataflow: in[b] is the union of lock sets over every
+	// path reaching b (may-analysis — a lock released on only one
+	// branch is still possibly held after the join).
+	in := make(map[*Block]lockState, len(cfg.Blocks))
+	in[cfg.Entry] = lockState{}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		state := in[b].clone()
+		for _, n := range b.Stmts {
+			applyLockEffects(pass.Info, n, state)
+		}
+		for _, succ := range b.Succs {
+			if in[succ] == nil {
+				in[succ] = state.clone()
+				work = append(work, succ)
+			} else if mergeInto(in[succ], state) {
+				work = append(work, succ)
+			}
+		}
+	}
+	// Reporting pass: replay each reachable block once with its final
+	// entry state.
+	reported := make(map[token.Pos]bool)
+	for _, b := range cfg.Blocks {
+		state, ok := in[b]
+		if !ok {
+			continue
+		}
+		state = state.clone()
+		for _, n := range b.Stmts {
+			if len(state) > 0 {
+				if what, pos := blockingPoint(pass, n); what != "" && !reported[pos] {
+					reported[pos] = true
+					for _, k := range sortedKeys(state) {
+						pass.Reportf(pos, "lock %s is held across %s", k, what)
+					}
+				}
+			}
+			applyLockEffects(pass.Info, n, state)
+		}
+	}
+}
+
+func sortedKeys(s lockState) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// applyLockEffects updates the held-lock set for one block node:
+// direct Lock/RLock adds the mutex, direct Unlock/RUnlock removes it,
+// and a deferred unlock is a no-op (the lock stays held to exit).
+func applyLockEffects(info *types.Info, n ast.Node, state lockState) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key := mutexLockCall(info, call); key != "" {
+			state[key] = true
+		}
+		if key := mutexUnlockCall(info, call); key != "" {
+			delete(state, key)
+		}
+		return true
+	})
+}
+
+// blockingPoint reports what, if anything, blocks in node n: a
+// blocking call (by intrinsics or call-graph facts), a channel send
+// or receive, a select without default, or a range over a channel.
+// Function-literal bodies are skipped — they execute elsewhere.
+func blockingPoint(pass *Pass, n ast.Node) (what string, pos token.Pos) {
+	switch m := n.(type) {
+	case *ast.DeferStmt:
+		// The deferred call runs at exit, after this path's analysis
+		// window; deferred unlocks are the usual content anyway.
+		return "", token.NoPos
+	case *RangeHead:
+		if tv, ok := pass.Info.Types[m.Range.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return "a range over a channel", m.Range.Pos()
+			}
+		}
+		// The ranged expression itself may contain a blocking call.
+		n = m.Range.X
+	case *SelectHead:
+		if !m.HasDefault {
+			return "a blocking select", m.Select.Pos()
+		}
+		return "", token.NoPos
+	case *CommOp:
+		// The operation was chosen at the SelectHead; running the
+		// clause does not block again.
+		return "", token.NoPos
+	}
+	found := ""
+	var at token.Pos
+	inspectShallow(n, func(m ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			found, at = "a channel send", m.Arrow
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found, at = "a channel receive", m.OpPos
+			}
+		case *ast.CallExpr:
+			if pass.Facts.CallBlocks(pass.Info, m) {
+				found, at = "blocking call "+callName(pass.Info, m), m.Pos()
+			}
+		}
+		return true
+	})
+	return found, at
+}
+
+// callName renders a call target for diagnostics ("http.Client.Do",
+// "syncPeer").
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn, ok := calleeObject(info, call).(*types.Func); ok {
+		if key := funcFactKey(fn); key != "" {
+			return key
+		}
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}

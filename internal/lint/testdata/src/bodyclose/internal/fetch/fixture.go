@@ -1,0 +1,170 @@
+// Package fetch exercises bodyclose: every *http.Response body must
+// reach Close on all control-flow paths, and every remote body read
+// must go through io.LimitReader.
+package fetch
+
+import (
+	"encoding/json"
+	"io"
+
+	"fixture/internal/http"
+)
+
+const maxBody = 1 << 20
+
+// The sanctioned shape: error-guard, deferred close, bounded read.
+func good(c *http.Client, req *http.Request) ([]byte, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(io.LimitReader(resp.Body, maxBody))
+}
+
+// No close on any path.
+func badNoClose(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req) // want "does not reach Close on every path"
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// Close on one branch only: the other escapes.
+func badOneBranch(c *http.Client, req *http.Request) int {
+	resp, err := c.Do(req) // want "does not reach Close on every path"
+	if err != nil {
+		return 0
+	}
+	if resp.StatusCode == 200 {
+		resp.Body.Close()
+		return 200
+	}
+	return resp.StatusCode
+}
+
+// An early return between the call and the deferred close leaks.
+func badEarlyReturn(c *http.Client, req *http.Request, skip bool) error {
+	resp, err := c.Do(req) // want "does not reach Close on every path"
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+// Discarding the response discards the only handle to its body.
+func badDiscard(c *http.Client, req *http.Request) {
+	_, err := c.Do(req) // want "assigned to _ leaks its body"
+	_ = err
+}
+
+// Direct close on every path (no defer needed).
+func goodDirectClose(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// A deferred closure that drains and closes counts as a close.
+func goodDeferClosure(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		_ = resp.Body.Close()
+	}()
+	return nil
+}
+
+// Returning the response hands the close duty to the caller.
+func goodHandOffReturn(c *http.Client, req *http.Request) (*http.Response, error) {
+	return c.Do(req)
+}
+
+func goodHandOffReturnVar(c *http.Client, req *http.Request) (*http.Response, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// drainAndClose is recognized by the call-graph facts as a
+// drain-and-close helper (it closes its *http.Response parameter).
+func drainAndClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	_ = resp.Body.Close()
+}
+
+func goodHelperClose(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	drainAndClose(resp)
+	return nil
+}
+
+// inspect reads the response but closes nothing: passing resp to it
+// does not discharge the close duty.
+func inspect(resp *http.Response) int { return resp.StatusCode }
+
+func badHelperNoClose(c *http.Client, req *http.Request) int {
+	resp, err := c.Do(req) // want "does not reach Close on every path"
+	if err != nil {
+		return 0
+	}
+	return inspect(resp)
+}
+
+// Unbounded reads: handing the raw body to a reader sink.
+func badUnboundedResponse(c *http.Client, req *http.Request) ([]byte, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body) // want "unbounded read of a response body"
+}
+
+func badUnboundedDecode(c *http.Client, req *http.Request, v any) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v) // want "unbounded read of a response body"
+}
+
+// An inbound request body is a remote peer's bytes too.
+func badUnboundedRequest(req *http.Request) ([]byte, error) {
+	return io.ReadAll(req.Body) // want "unbounded read of a request body"
+}
+
+func goodBoundedRequest(req *http.Request) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(req.Body, maxBody))
+}
+
+// Storing the response whole transfers ownership out of this graph.
+type cache struct {
+	last *http.Response
+}
+
+func goodStore(c *http.Client, req *http.Request, s *cache) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	s.last = resp
+	return nil
+}

@@ -1,0 +1,100 @@
+// Package farm exercises goleak: it is one of the long-lived packages
+// (serve, cluster, farm, ruledist, obs), so every goroutine spawned
+// here must be tied to a WaitGroup, a context, or a captured stop
+// channel.
+package farm
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	wg    sync.WaitGroup
+	stopc chan struct{}
+	jobs  chan string
+}
+
+// Fire-and-forget: nothing can wait for or stop this goroutine.
+func (s *Server) badFireAndForget() {
+	go func() { // want "has no lifecycle"
+		work()
+	}()
+}
+
+// WaitGroup-tied: the spawner can drain it.
+func (s *Server) goodWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// Context-aware: cancellation ends the loop.
+func (s *Server) goodContextLoop(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// Stop-channel select: closing s.stopc ends the goroutine.
+func (s *Server) goodStopChannel() {
+	go func() {
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case j := <-s.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// Ranging over a captured work queue: closing the channel ends it.
+func (s *Server) goodRangeQueue() {
+	go func() {
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}
+
+// A captured local done channel is a lifecycle too.
+func (s *Server) goodLocalDone() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	return done
+}
+
+// A channel made inside the goroutine cannot be a stop signal.
+func (s *Server) badInnerChannel() {
+	go func() { // want "has no lifecycle"
+		inner := make(chan struct{})
+		<-inner
+	}()
+}
+
+// A named function taking a context is accountable to its caller.
+func (s *Server) goodNamedWithContext(ctx context.Context) {
+	go s.run(ctx)
+}
+
+func (s *Server) run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// A named function without a context is opaque: nothing ties it down.
+func (s *Server) badNamedNoContext() {
+	go work() // want "has no lifecycle"
+}
+
+func work() {}

@@ -1,0 +1,9 @@
+// Package flow is not a long-lived package: goleak does not apply
+// here, so even a fire-and-forget goroutine produces no finding.
+package flow
+
+func Scatter() {
+	go func() {
+		// request-scoped helper goroutine; out of goleak's scope
+	}()
+}

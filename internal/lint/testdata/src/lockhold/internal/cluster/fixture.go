@@ -1,0 +1,157 @@
+// Package cluster exercises lockhold: no sync.Mutex or sync.RWMutex
+// may be held across a blocking call, a channel operation, or a
+// blocking select. The positive cases hold a lock across each blocking
+// shape; the negative cases release first or never block.
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"fixture/internal/http"
+)
+
+type Coordinator struct {
+	mu     sync.Mutex
+	rmu    sync.RWMutex
+	client *http.Client
+	peers  map[string]string
+	jobs   chan string
+}
+
+// Held across an HTTP round-trip: the canonical pile-up.
+func (c *Coordinator) badRoundTrip(req *http.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.client.Do(req) // want "lock c.mu is held across blocking call http.Client.Do"
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	return nil
+}
+
+// Unlocking before the round-trip is the fix.
+func (c *Coordinator) goodRoundTrip(req *http.Request) error {
+	c.mu.Lock()
+	addr := c.peers["a"]
+	c.mu.Unlock()
+	_ = addr
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	return nil
+}
+
+// Held across a channel send.
+func (c *Coordinator) badSend(v string) {
+	c.mu.Lock()
+	c.jobs <- v // want "lock c.mu is held across a channel send"
+	c.mu.Unlock()
+}
+
+// Held across a channel receive, with a read lock.
+func (c *Coordinator) badReceive() string {
+	c.rmu.RLock()
+	v := <-c.jobs // want "lock c.rmu is held across a channel receive"
+	c.rmu.RUnlock()
+	return v
+}
+
+// Held across a blocking select: the head is the blocking point.
+func (c *Coordinator) badSelect(stop chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want "lock c.mu is held across a blocking select"
+	case <-stop:
+	case v := <-c.jobs:
+		c.peers[v] = v
+	}
+}
+
+// A select with a default clause never blocks.
+func (c *Coordinator) goodSelectDefault() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-c.jobs:
+		c.peers[v] = v
+	default:
+	}
+}
+
+// Held across a sleep, via the intrinsics table.
+func (c *Coordinator) badSleep() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want "lock c.mu is held across blocking call time.Sleep"
+	c.mu.Unlock()
+}
+
+// Held across a helper that transitively performs a round-trip: the
+// call-graph facts classify fetch as blocking.
+func (c *Coordinator) badTransitive(req *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fetch(req) // want "lock c.mu is held across blocking call cluster.Coordinator.fetch"
+}
+
+func (c *Coordinator) fetch(req *http.Request) {
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	_ = resp.Body.Close()
+}
+
+// Held across a range over a channel.
+func (c *Coordinator) badRange() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for v := range c.jobs { // want "lock c.mu is held across a range over a channel"
+		c.peers[v] = v
+	}
+}
+
+// Short critical sections around in-memory maps are the sanctioned
+// pattern.
+func (c *Coordinator) goodMapUpdate(k, v string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peers[k] = v
+}
+
+// A lock released on only one branch is still possibly held at the
+// join: may-analysis unions the paths.
+func (c *Coordinator) badBranchy(req *http.Request, fast bool) {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+	}
+	c.fetch(req) // want "lock c.mu is held across blocking call cluster.Coordinator.fetch"
+	if !fast {
+		c.mu.Unlock()
+	}
+}
+
+// A goroutine body is its own scope: the spawner's lock is not held by
+// the goroutine, and the literal blocking inside does not charge the
+// spawner. (The closure itself takes no lock, so nothing is reported.)
+func (c *Coordinator) goodGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		v := <-c.jobs
+		_ = v
+	}()
+}
+
+// A closure that locks and blocks is the same bug in a smaller scope.
+func (c *Coordinator) badClosure(req *http.Request) func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.fetch(req) // want "lock c.mu is held across blocking call cluster.Coordinator.fetch"
+	}
+}

@@ -1,0 +1,123 @@
+// Package cluster exercises spanend in a traced-client package: every
+// span from obs.StartSpan must reach End on all paths, and every
+// function that builds an outbound request must stamp the
+// X-Omini-Trace header, directly or via a stamping helper.
+package cluster
+
+import (
+	"context"
+
+	"fixture/internal/http"
+	"fixture/internal/obs"
+)
+
+type Coordinator struct {
+	client *http.Client
+}
+
+// The sanctioned shape: deferred End covers every path.
+func (c *Coordinator) goodDefer(ctx context.Context) error {
+	sctx, sp := obs.StartSpan(ctx, "cluster.good")
+	defer sp.End()
+	_ = sctx
+	return nil
+}
+
+// End on one branch only: the error path leaks the span.
+func (c *Coordinator) badOneBranch(ctx context.Context, fail bool) error {
+	sctx, sp := obs.StartSpan(ctx, "cluster.branchy") // want "does not reach End on every path"
+	_ = sctx
+	if fail {
+		return errDown
+	}
+	sp.End()
+	return nil
+}
+
+// Discarding the span means nobody can end it.
+func (c *Coordinator) badDiscard(ctx context.Context) {
+	sctx, _ := obs.StartSpan(ctx, "cluster.discard") // want "discarded and never ended"
+	_ = sctx
+}
+
+// Unconditional End before every return is fine without defer.
+func (c *Coordinator) goodDirect(ctx context.Context, n int) int {
+	sctx, sp := obs.StartSpan(ctx, "cluster.direct")
+	_ = sctx
+	total := n * 2
+	sp.End()
+	return total
+}
+
+// A deferred closure that ends the span covers every path.
+func (c *Coordinator) goodDeferClosure(ctx context.Context) {
+	sctx, sp := obs.StartSpan(ctx, "cluster.closure")
+	defer func() {
+		sp.End()
+	}()
+	_ = sctx
+}
+
+// Returning the span hands the End duty to the caller.
+func (c *Coordinator) goodHandOff(ctx context.Context) (context.Context, *obs.Span) {
+	sctx, sp := obs.StartSpan(ctx, "cluster.handoff")
+	return sctx, sp
+}
+
+// An outbound request with a direct header stamp.
+func (c *Coordinator) goodStampDirect(ctx context.Context, base string) error {
+	sctx, sp := obs.StartSpan(ctx, "cluster.hop")
+	defer sp.End()
+	req, err := http.NewRequestWithContext(sctx, "GET", base, nil)
+	if err != nil {
+		return err
+	}
+	if sc := obs.SpanContextFrom(sctx); sc.Valid() {
+		req.Header.Set(obs.TraceHeader, sc.Header())
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	return nil
+}
+
+// An outbound request stamped through a helper the call-graph facts
+// classify as stamping.
+func (c *Coordinator) goodStampHelper(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", base, nil)
+	if err != nil {
+		return err
+	}
+	c.stamp(ctx, req.Header)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	return nil
+}
+
+func (c *Coordinator) stamp(ctx context.Context, h http.Header) {
+	if sc := obs.SpanContextFrom(ctx); sc.Valid() {
+		h.Set(obs.TraceHeader, sc.Header())
+	}
+}
+
+// An outbound request with no stamp at all: the hop's span cannot
+// parent to the peer's handler span.
+func (c *Coordinator) badNoStamp(ctx context.Context, base string) error { // want "never stamps the X-Omini-Trace header"
+	req, err := http.NewRequestWithContext(ctx, "GET", base, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	return nil
+}
+
+var errDown = error(nil)

@@ -1,0 +1,33 @@
+// Package http is a minimal stand-in for net/http so the fixture
+// packages type-check inside their own module. spanend matches the
+// package name and function names, not the import path.
+package http
+
+import (
+	"context"
+	"io"
+)
+
+type Header map[string][]string
+
+func (h Header) Set(key, value string) {}
+
+type Request struct {
+	Header Header
+}
+
+type Response struct {
+	Body io.ReadCloser
+}
+
+type Client struct{}
+
+func (c *Client) Do(req *Request) (*Response, error) { return nil, nil }
+
+func NewRequest(method, url string, body io.Reader) (*Request, error) {
+	return &Request{Header: Header{}}, nil
+}
+
+func NewRequestWithContext(ctx context.Context, method, url string, body io.Reader) (*Request, error) {
+	return &Request{Header: Header{}}, nil
+}

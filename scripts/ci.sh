@@ -19,12 +19,17 @@ echo "==> go vet ./..."
 go vet ./...
 
 # Project invariants: the governor, observability, error-wrapping,
-# context and purity contracts are enforced mechanically (DESIGN.md
-# §11). OMINILINT=0 skips (e.g. while iterating on a known-red tree).
+# context, purity, and concurrency/resource-hygiene contracts are
+# enforced mechanically (DESIGN.md §11, §16). Deliberate exceptions
+# live in lint.baseline; the second run fails if any baseline entry
+# names code that no longer exists. OMINILINT=0 skips (e.g. while
+# iterating on a known-red tree).
 OMINILINT="${OMINILINT:-1}"
 if [ "$OMINILINT" != "0" ]; then
     echo "==> ominilint ./..."
-    go run ./cmd/ominilint ./...
+    go run ./cmd/ominilint -baseline=lint.baseline ./...
+    echo "==> ominilint stale-baseline check"
+    go run ./cmd/ominilint -only=baseline -baseline=lint.baseline ./...
 fi
 
 echo "==> go build ./..."
@@ -32,6 +37,18 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+# Targeted race pass over the distributed layer: the packages whose
+# goroutines, locks, and channels the concurrency analyzers reason
+# about get an extra uncached -race run under a hard time budget, so a
+# schedule-dependent regression cannot hide behind the test cache.
+# RACE_BUDGET=0 skips.
+RACE_BUDGET="${RACE_BUDGET:-240s}"
+if [ "$RACE_BUDGET" != "0" ]; then
+    echo "==> distributed-layer race pass (-count=1, ${RACE_BUDGET} budget)"
+    go test -race -count=1 -timeout "$RACE_BUDGET" \
+        ./internal/farm/ ./internal/ruledist/ ./internal/cluster/ ./internal/obs/
+fi
 
 # Cluster mode: the kill-a-node chaos proof must stay race-clean — a
 # 200-page batch (fetched through connection resets and slow-drip
